@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries.
+ *
+ * Every bench binary prints its table/figure reproduction first (the
+ * rows the paper reports), then runs its google-benchmark
+ * microbenchmarks of the machinery involved. Instruction budgets can
+ * be scaled with the PIFETCH_BENCH_SCALE environment variable
+ * (default 1.0).
+ */
+
+#ifndef PIFETCH_BENCH_BENCH_COMMON_HH
+#define PIFETCH_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/experiment.hh"
+
+namespace pifetch {
+namespace benchutil {
+
+/** Scale factor from PIFETCH_BENCH_SCALE (default 1.0). */
+inline double
+scale()
+{
+    const char *s = std::getenv("PIFETCH_BENCH_SCALE");
+    if (!s)
+        return 1.0;
+    const double v = std::atof(s);
+    return v > 0.0 ? v : 1.0;
+}
+
+/** Standard budget for figure reproduction runs. */
+inline ExperimentBudget
+budget()
+{
+    ExperimentBudget b;
+    b.warmup = static_cast<InstCount>(1'500'000 * scale());
+    b.measure = static_cast<InstCount>(6'000'000 * scale());
+    return b;
+}
+
+/** Instruction count for single-pass (analysis-only) studies. */
+inline InstCount
+analysisInstrs()
+{
+    return static_cast<InstCount>(6'000'000 * scale());
+}
+
+/** Print a section banner. */
+inline void
+banner(const char *title)
+{
+    std::printf("\n================================================"
+                "====================\n%s\n"
+                "================================================"
+                "====================\n",
+                title);
+}
+
+/** Run the registered google-benchmark microbenchmarks. */
+inline int
+runMicrobenchmarks(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace benchutil
+} // namespace pifetch
+
+#endif // PIFETCH_BENCH_BENCH_COMMON_HH

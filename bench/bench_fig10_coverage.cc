@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 10 (left) reproduction: L1-I miss coverage of Next-Line,
+ * TIFS and PIF without storage limitations.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "pif/pif_prefetcher.hh"
+
+using namespace pifetch;
+
+namespace {
+
+void
+printFig10Left()
+{
+    benchutil::banner("Figure 10 (left): L1 miss coverage (%), "
+                      "no storage limitation");
+    const ExperimentBudget budget = benchutil::budget();
+    std::printf("%-6s %-8s %10s %10s %10s %14s\n", "group", "workload",
+                "Next-Line", "TIFS", "PIF", "(base misses)");
+    for (ServerWorkload w : allServerWorkloads()) {
+        const auto points = runFig10Coverage(w, budget);
+        double nl = 0.0;
+        double tifs = 0.0;
+        double pif = 0.0;
+        std::uint64_t base = 0;
+        for (const auto &p : points) {
+            base = p.baselineMisses;
+            if (p.kind == PrefetcherKind::NextLine)
+                nl = p.missCoverage;
+            if (p.kind == PrefetcherKind::Tifs)
+                tifs = p.missCoverage;
+            if (p.kind == PrefetcherKind::Pif)
+                pif = p.missCoverage;
+        }
+        std::printf("%-6s %-8s %9.2f%% %9.2f%% %9.2f%% %14llu\n",
+                    workloadGroup(w).c_str(), workloadName(w).c_str(),
+                    100.0 * nl, 100.0 * tifs, 100.0 * pif,
+                    static_cast<unsigned long long>(base));
+    }
+    std::printf("\npaper shape: PIF nearly perfect across all "
+                "workloads; TIFS 65-90%%;\nnext-line below TIFS.\n");
+}
+
+void
+BM_PifOnRetireStream(benchmark::State &state)
+{
+    PifConfig cfg;
+    PifPrefetcher pif(cfg);
+    std::uint64_t x = 11;
+    RetiredInstr r;
+    for (auto _ : state) {
+        x = x * 6364136223846793005ull + 1;
+        r.pc = blockBase((x >> 52) % 8192) + ((x >> 45) & 0x3c);
+        pif.onRetire(r, true);
+        benchmark::DoNotOptimize(pif.regionsRecorded());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations()));
+}
+BENCHMARK(BM_PifOnRetireStream);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig10Left();
+    return benchutil::runMicrobenchmarks(argc, argv);
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 2 reproduction: percentage of correctly predicted
+ * correct-path L1-I misses when recording/replaying temporal streams
+ * at four observation points (Miss, Access, Retire, RetireSep).
+ */
+
+#include <cinttypes>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "streams/temporal_predictor.hh"
+
+using namespace pifetch;
+
+namespace {
+
+void
+printFig2()
+{
+    benchutil::banner("Figure 2: correctly predicted correct-path "
+                      "L1-I misses (%)");
+    std::printf("%-6s %-8s %8s %8s %8s %10s %12s\n", "group", "workload",
+                "Miss", "Access", "Retire", "RetireSep", "(misses)");
+    const ExperimentBudget budget = benchutil::budget();
+    for (ServerWorkload w : allServerWorkloads()) {
+        const Fig2Result r = runFig2(w, budget);
+        std::printf("%-6s %-8s %7.2f%% %7.2f%% %7.2f%% %9.2f%% %12" PRIu64
+                    "\n",
+                    workloadGroup(w).c_str(), workloadName(w).c_str(),
+                    100.0 * r.missCoverage, 100.0 * r.accessCoverage,
+                    100.0 * r.retireCoverage,
+                    100.0 * r.retireSepCoverage, r.correctPathMisses);
+    }
+    std::printf("\npaper shape: Miss < Access < Retire < RetireSep;\n"
+                "largest Miss loss in Web, largest Access loss in "
+                "Oracle, RetireSep near-perfect.\n");
+}
+
+void
+BM_TemporalPredictorObserve(benchmark::State &state)
+{
+    TemporalPredictorConfig cfg;
+    cfg.window = static_cast<unsigned>(state.range(0));
+    TemporalStreamPredictor pred(cfg);
+    // A repetitive stream with mild perturbation.
+    std::uint64_t x = 1;
+    Addr i = 0;
+    for (auto _ : state) {
+        x = x * 6364136223846793005ull + 1;
+        const Addr a = (x >> 60) == 0 ? (x >> 40) : (i++ % 4096);
+        benchmark::DoNotOptimize(pred.observe(a).predicted);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations()));
+}
+BENCHMARK(BM_TemporalPredictorObserve)->Arg(8)->Arg(16)->Arg(32);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFig2();
+    return benchutil::runMicrobenchmarks(argc, argv);
+}

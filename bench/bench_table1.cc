@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Table I reproduction: system and application parameters.
+ *
+ * Prints the resolved simulated-machine configuration and, per
+ * workload, the application parameters the generator realizes
+ * (footprint, function counts, transaction mix, interrupt rate) —
+ * the reproduction of Table I's two columns. Microbenchmarks cover
+ * program generation throughput.
+ */
+
+#include <cinttypes>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/config.hh"
+#include "pif/storage.hh"
+#include "sim/workloads.hh"
+
+using namespace pifetch;
+
+namespace {
+
+void
+printTable1()
+{
+    benchutil::banner("Table I (left): system parameters");
+    printSystemConfig(SystemConfig{}, std::cout);
+
+    benchutil::banner("Predictor storage (Section 5.4 trade-off)");
+    {
+        const SystemConfig cfg;
+        const PifStorage s = computePifStorage(cfg.pif);
+        std::printf("PIF:  history %.1f KiB, index %.1f KiB, SABs "
+                    "%.2f KiB, compactors %.2f KiB -> total %.1f KiB\n",
+                    s.historyBits / 8192.0, s.indexBits / 8192.0,
+                    s.sabBits / 8192.0, s.compactorBits / 8192.0,
+                    s.totalKiB());
+        std::printf("TIFS (equal stream capacity): %.1f KiB\n",
+                    tifsStorageBits(cfg.tifs) / 8192.0);
+    }
+
+    benchutil::banner("Table I (right): application parameters "
+                      "(synthetic equivalents)");
+    std::printf("%-8s %-6s %10s %8s %8s %6s %12s\n", "workload", "group",
+                "footprint", "app fns", "lib fns", "tx", "intr rate");
+    for (ServerWorkload w : allServerWorkloads()) {
+        const WorkloadParams p = workloadParams(w);
+        const Program prog = buildWorkloadProgram(w);
+        std::printf("%-8s %-6s %7.2f MB %8u %8u %6u %12.1e\n",
+                    workloadName(w).c_str(), workloadGroup(w).c_str(),
+                    static_cast<double>(prog.footprintBytes()) /
+                        (1 << 20),
+                    p.appFunctions, p.libFunctions, p.transactions,
+                    p.interruptRate);
+    }
+}
+
+void
+BM_ProgramGeneration(benchmark::State &state)
+{
+    const ServerWorkload w = allServerWorkloads()[
+        static_cast<std::size_t>(state.range(0))];
+    for (auto _ : state) {
+        Program prog = buildWorkloadProgram(w);
+        benchmark::DoNotOptimize(prog.codeEnd);
+    }
+    state.SetLabel(workloadName(w));
+}
+BENCHMARK(BM_ProgramGeneration)->DenseRange(0, 5);
+
+void
+BM_ExecutorThroughput(benchmark::State &state)
+{
+    const Program prog = buildWorkloadProgram(ServerWorkload::OltpDb2);
+    Executor exec(prog, executorConfigFor(ServerWorkload::OltpDb2));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(exec.next().pc);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations()));
+}
+BENCHMARK(BM_ExecutorThroughput);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable1();
+    return benchutil::runMicrobenchmarks(argc, argv);
+}

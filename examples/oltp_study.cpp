@@ -1,0 +1,57 @@
+/**
+ * @file
+ * OLTP deep-dive: the workload class the paper's introduction motivates.
+ *
+ * Runs both OLTP workloads (TPC-C on DB2 and Oracle) through the
+ * functional engine with each prefetcher, then through the cycle-level
+ * engine, reporting miss elimination and UIPC speedups side by side —
+ * a miniature of the paper's Section 5.5/5.6 story.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "sim/cycle_engine.hh"
+#include "sim/experiment.hh"
+#include "sim/workloads.hh"
+
+using namespace pifetch;
+
+int
+main()
+{
+    const SystemConfig cfg;
+    ExperimentBudget budget;
+    budget.warmup = 1'000'000;
+    budget.measure = 4'000'000;
+
+    const std::vector<ServerWorkload> oltp = {
+        ServerWorkload::OltpDb2,
+        ServerWorkload::OltpOracle,
+    };
+
+    for (ServerWorkload w : oltp) {
+        std::printf("=== OLTP %s ===\n", workloadName(w).c_str());
+
+        const auto coverage = runFig10Coverage(w, budget, cfg);
+        std::printf("  baseline L1-I misses: %llu\n",
+                    static_cast<unsigned long long>(
+                        coverage.front().baselineMisses));
+        for (const auto &p : coverage) {
+            std::printf("  %-12s miss coverage %6.2f%%  (%llu left)\n",
+                        prefetcherName(p.kind).c_str(),
+                        100.0 * p.missCoverage,
+                        static_cast<unsigned long long>(
+                            p.remainingMisses));
+        }
+
+        const auto speedups = runFig10Speedup(w, budget, cfg);
+        for (const auto &p : speedups) {
+            std::printf("  %-12s UIPC %.4f  speedup %.3fx\n",
+                        prefetcherName(p.kind).c_str(), p.uipc,
+                        p.speedup);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * pifetch_sim: command-line front door to the whole library.
+ *
+ * Usage:
+ *   pifetch_sim [options]
+ *     --workload N|name   0..5 or db2|oracle|qry2|qry17|apache|zeus
+ *     --prefetcher name   none|nextline|discontinuity|tifs|pif|perfect
+ *     --engine name       trace|cycle
+ *     --cores N           per-core instances to average (default 1)
+ *     --warmup N          warmup instructions (default 1500000)
+ *     --measure N         measured instructions (default 6000000)
+ *     --history N         PIF history buffer regions
+ *     --stats             dump raw cache counters after the run
+ *
+ * Examples:
+ *   pifetch_sim --workload apache --prefetcher pif --engine cycle
+ *   pifetch_sim --workload 0 --prefetcher tifs --cores 4 --stats
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "sim/multicore.hh"
+
+using namespace pifetch;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--workload W] [--prefetcher P] "
+                 "[--engine trace|cycle]\n"
+                 "          [--cores N] [--warmup N] [--measure N] "
+                 "[--history N] [--stats]\n",
+                 argv0);
+    std::exit(1);
+}
+
+ServerWorkload
+parseWorkload(const std::string &s)
+{
+    const struct { const char *name; ServerWorkload w; } table[] = {
+        {"db2", ServerWorkload::OltpDb2},
+        {"oracle", ServerWorkload::OltpOracle},
+        {"qry2", ServerWorkload::DssQry2},
+        {"qry17", ServerWorkload::DssQry17},
+        {"apache", ServerWorkload::WebApache},
+        {"zeus", ServerWorkload::WebZeus},
+    };
+    for (const auto &e : table) {
+        if (s == e.name)
+            return e.w;
+    }
+    if (!s.empty() && s[0] >= '0' && s[0] <= '5')
+        return allServerWorkloads()[static_cast<std::size_t>(s[0] - '0')];
+    std::fprintf(stderr, "unknown workload '%s'\n", s.c_str());
+    std::exit(1);
+}
+
+PrefetcherKind
+parsePrefetcher(const std::string &s)
+{
+    if (s == "none") return PrefetcherKind::None;
+    if (s == "nextline") return PrefetcherKind::NextLine;
+    if (s == "discontinuity") return PrefetcherKind::Discontinuity;
+    if (s == "tifs") return PrefetcherKind::Tifs;
+    if (s == "pif") return PrefetcherKind::Pif;
+    if (s == "perfect") return PrefetcherKind::Perfect;
+    std::fprintf(stderr, "unknown prefetcher '%s'\n", s.c_str());
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServerWorkload workload = ServerWorkload::OltpDb2;
+    PrefetcherKind prefetcher = PrefetcherKind::Pif;
+    std::string engine = "trace";
+    unsigned cores = 1;
+    InstCount warmup = 1'500'000;
+    InstCount measure = 6'000'000;
+    std::uint64_t history = 0;  // 0 = keep default
+    bool dump_stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workload = parseWorkload(next());
+        } else if (arg == "--prefetcher") {
+            prefetcher = parsePrefetcher(next());
+        } else if (arg == "--engine") {
+            engine = next();
+        } else if (arg == "--cores") {
+            cores = static_cast<unsigned>(std::atoi(next().c_str()));
+        } else if (arg == "--warmup") {
+            warmup = static_cast<InstCount>(std::atoll(next().c_str()));
+        } else if (arg == "--measure") {
+            measure = static_cast<InstCount>(std::atoll(next().c_str()));
+        } else if (arg == "--history") {
+            history = static_cast<std::uint64_t>(
+                std::atoll(next().c_str()));
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (cores == 0 || (engine != "trace" && engine != "cycle"))
+        usage(argv[0]);
+
+    SystemConfig cfg;
+    if (history > 0)
+        cfg.pif.historyRegions = history;
+
+    std::printf("workload=%s prefetcher=%s engine=%s cores=%u "
+                "warmup=%llu measure=%llu\n",
+                workloadName(workload).c_str(),
+                prefetcherName(prefetcher).c_str(), engine.c_str(),
+                cores, static_cast<unsigned long long>(warmup),
+                static_cast<unsigned long long>(measure));
+
+    if (engine == "trace") {
+        const MulticoreTraceResult res = runMulticoreTrace(
+            workload, prefetcher, cores, warmup, measure, cfg);
+        for (std::size_t c = 0; c < res.perCore.size(); ++c) {
+            const TraceRunResult &r = res.perCore[c];
+            std::printf("core %zu: fetches %llu  misses %llu  "
+                        "miss ratio %.3f%%  pif coverage %.2f%%\n",
+                        c,
+                        static_cast<unsigned long long>(r.accesses),
+                        static_cast<unsigned long long>(r.misses),
+                        100.0 * r.missRatio(), 100.0 * r.pifCoverage);
+        }
+        std::printf("mean miss ratio %.3f%%  total misses %llu\n",
+                    100.0 * res.meanMissRatio(),
+                    static_cast<unsigned long long>(res.totalMisses()));
+    } else {
+        const MulticoreCycleResult res = runMulticoreCycle(
+            workload, prefetcher, cores, warmup, measure, cfg);
+        for (std::size_t c = 0; c < res.perCore.size(); ++c) {
+            const CycleRunResult &r = res.perCore[c];
+            std::printf("core %zu: cycles %llu  UIPC %.4f  "
+                        "fetch-stall cycles %llu  misses %llu\n",
+                        c, static_cast<unsigned long long>(r.cycles),
+                        r.uipc,
+                        static_cast<unsigned long long>(
+                            r.fetchStallCycles),
+                        static_cast<unsigned long long>(r.demandMisses));
+        }
+        std::printf("mean UIPC %.4f over %llu user instructions\n",
+                    res.meanUipc(),
+                    static_cast<unsigned long long>(
+                        res.totalUserInstrs()));
+    }
+
+    if (dump_stats && engine == "trace" && cores == 1) {
+        // Re-run a single engine to expose the raw counters.
+        const Program prog = buildWorkloadProgram(workload);
+        TraceEngine eng(cfg, prog, executorConfigFor(workload),
+                        makePrefetcher(prefetcher, cfg));
+        eng.run(warmup, measure);
+        eng.l1i().stats().dump(std::cout);
+    }
+    return 0;
+}

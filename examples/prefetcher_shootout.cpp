@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Prefetcher shootout across the full server suite.
+ *
+ * Runs every workload with every prefetcher (including the
+ * discontinuity-prefetcher extension) through the functional engine
+ * and prints a miss-ratio matrix plus accuracy statistics.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "sim/trace_engine.hh"
+#include "sim/workloads.hh"
+
+using namespace pifetch;
+
+int
+main()
+{
+    const SystemConfig cfg;
+    const InstCount warmup = 1'000'000;
+    const InstCount measure = 3'000'000;
+
+    const std::vector<PrefetcherKind> kinds = {
+        PrefetcherKind::None,
+        PrefetcherKind::NextLine,
+        PrefetcherKind::Discontinuity,
+        PrefetcherKind::Tifs,
+        PrefetcherKind::Pif,
+    };
+
+    std::printf("%-10s", "L1-I miss%");
+    for (PrefetcherKind k : kinds)
+        std::printf(" %13s", prefetcherName(k).c_str());
+    std::printf("\n");
+
+    for (ServerWorkload w : allServerWorkloads()) {
+        const Program prog = buildWorkloadProgram(w);
+        std::printf("%-10s", workloadName(w).c_str());
+        for (PrefetcherKind k : kinds) {
+            TraceEngine engine(cfg, prog, executorConfigFor(w),
+                               makePrefetcher(k, cfg));
+            const TraceRunResult r = engine.run(warmup, measure);
+            std::printf(" %12.3f%%", 100.0 * r.missRatio());
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nprefetch accuracy (useful fills / fills), "
+                "measured per workload:\n");
+    std::printf("%-10s", "");
+    for (PrefetcherKind k : kinds) {
+        if (k == PrefetcherKind::None)
+            continue;
+        std::printf(" %13s", prefetcherName(k).c_str());
+    }
+    std::printf("\n");
+    for (ServerWorkload w : allServerWorkloads()) {
+        const Program prog = buildWorkloadProgram(w);
+        std::printf("%-10s", workloadName(w).c_str());
+        for (PrefetcherKind k : kinds) {
+            if (k == PrefetcherKind::None)
+                continue;
+            TraceEngine engine(cfg, prog, executorConfigFor(w),
+                               makePrefetcher(k, cfg));
+            const TraceRunResult r = engine.run(warmup, measure);
+            const double acc = r.prefetchFills == 0 ? 0.0
+                : static_cast<double>(r.usefulPrefetches) /
+                  static_cast<double>(r.prefetchFills);
+            std::printf(" %12.2f%%", 100.0 * acc);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: build a server workload, attach PIF, measure the L1-I.
+ *
+ * Demonstrates the minimal public-API path:
+ *   workload params -> Program -> TraceEngine with a PifPrefetcher ->
+ *   miss-rate and coverage report.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common/config.hh"
+#include "pif/pif_prefetcher.hh"
+#include "sim/trace_engine.hh"
+#include "sim/workloads.hh"
+
+using namespace pifetch;
+
+int
+main()
+{
+    // 1. Pick a workload (OLTP on DB2) and the Table I system config.
+    const ServerWorkload workload = ServerWorkload::OltpDb2;
+    const SystemConfig cfg;
+    const Program prog = buildWorkloadProgram(workload);
+
+    std::printf("workload: %s (%s)\n", workloadName(workload).c_str(),
+                workloadGroup(workload).c_str());
+    std::printf("code footprint: %.2f MB in %llu blocks, %zu functions\n",
+                static_cast<double>(prog.footprintBytes()) / (1 << 20),
+                static_cast<unsigned long long>(prog.footprintBlocks()),
+                prog.functions.size());
+
+    // 2. Baseline: no prefetching.
+    TraceRunResult base;
+    {
+        TraceEngine engine(cfg, prog, executorConfigFor(workload),
+                           std::make_unique<NullPrefetcher>());
+        base = engine.run(1'000'000, 4'000'000);
+    }
+
+    // 3. The same run with Proactive Instruction Fetch attached.
+    auto pif = std::make_unique<PifPrefetcher>(cfg.pif);
+    TraceEngine engine(cfg, prog, executorConfigFor(workload),
+                       std::move(pif));
+    const TraceRunResult res = engine.run(1'000'000, 4'000'000);
+
+    // 4. Report.
+    std::printf("\n%-28s %12s %12s\n", "", "baseline", "with PIF");
+    std::printf("%-28s %12llu %12llu\n", "correct-path fetches",
+                static_cast<unsigned long long>(base.accesses),
+                static_cast<unsigned long long>(res.accesses));
+    std::printf("%-28s %12llu %12llu\n", "correct-path misses",
+                static_cast<unsigned long long>(base.misses),
+                static_cast<unsigned long long>(res.misses));
+    std::printf("%-28s %11.2f%% %11.2f%%\n", "L1-I miss ratio",
+                100.0 * base.missRatio(), 100.0 * res.missRatio());
+    std::printf("%-28s %12s %11.2f%%\n", "PIF predictor coverage", "-",
+                100.0 * res.pifCoverage);
+    std::printf("%-28s %12s %12llu\n", "prefetch fills", "-",
+                static_cast<unsigned long long>(res.prefetchFills));
+
+    const double eliminated = base.misses == 0 ? 0.0
+        : 1.0 - static_cast<double>(res.misses) /
+                static_cast<double>(base.misses);
+    std::printf("\nPIF eliminated %.2f%% of L1-I misses "
+                "(paper: ~99%% with unbounded history).\n",
+                100.0 * eliminated);
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Bimodal (PC-indexed) direction predictor.
+ */
+
+#ifndef PIFETCH_BRANCH_BIMODAL_HH
+#define PIFETCH_BRANCH_BIMODAL_HH
+
+#include <vector>
+
+#include "branch/predictor.hh"
+
+namespace pifetch {
+
+/**
+ * Classic bimodal predictor: a table of 2-bit counters indexed by the
+ * branch PC. Captures strongly biased branches (the majority in server
+ * code) without history interference.
+ */
+class BimodalPredictor : public DirectionPredictor
+{
+  public:
+    /** @param entries Table size; must be a power of two. */
+    explicit BimodalPredictor(unsigned entries);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    void reset() override;
+
+  private:
+    std::uint64_t indexOf(Addr pc) const
+    {
+        return (pc >> 2) & mask_;
+    }
+
+    std::uint64_t mask_;
+    std::vector<SatCounter2> table_;
+};
+
+} // namespace pifetch
+
+#endif // PIFETCH_BRANCH_BIMODAL_HH

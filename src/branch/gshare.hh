@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Gshare direction predictor with explicit history management.
+ */
+
+#ifndef PIFETCH_BRANCH_GSHARE_HH
+#define PIFETCH_BRANCH_GSHARE_HH
+
+#include <vector>
+
+#include "branch/predictor.hh"
+
+namespace pifetch {
+
+/**
+ * Gshare: 2-bit counters indexed by PC xor global branch history.
+ *
+ * History is updated non-speculatively in update(); the front-end model
+ * resolves each branch before predicting the next one of the same
+ * thread, so speculative-history repair is unnecessary here.
+ */
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    /**
+     * @param entries Table size (power of two).
+     * @param history_bits Global history length folded into the index.
+     */
+    GsharePredictor(unsigned entries, unsigned history_bits);
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    void reset() override;
+
+    /** Current global history register (tests). */
+    std::uint64_t history() const { return history_; }
+
+  private:
+    std::uint64_t indexOf(Addr pc) const
+    {
+        return ((pc >> 2) ^ history_) & mask_;
+    }
+
+    std::uint64_t mask_;
+    std::uint64_t historyMask_;
+    std::uint64_t history_ = 0;
+    std::vector<SatCounter2> table_;
+};
+
+} // namespace pifetch
+
+#endif // PIFETCH_BRANCH_GSHARE_HH

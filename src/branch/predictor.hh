@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Branch direction predictor interface and shared helpers.
+ *
+ * The front-end model uses a Table I-style hybrid predictor (16K gshare
+ * + 16K bimodal with a chooser) to decide, per conditional branch,
+ * whether the fetch unit follows the correct path or wanders onto the
+ * wrong path — the noise source of Section 2.2.
+ */
+
+#ifndef PIFETCH_BRANCH_PREDICTOR_HH
+#define PIFETCH_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace pifetch {
+
+/** Two-bit saturating counter used by all direction predictors. */
+class SatCounter2
+{
+  public:
+    /** @param init Initial state in [0,3]; 2 = weakly taken. */
+    explicit SatCounter2(std::uint8_t init = 2) : v_(init) {}
+
+    /** Predicted direction. */
+    bool taken() const { return v_ >= 2; }
+
+    /** Train toward @p t. */
+    void
+    update(bool t)
+    {
+        if (t && v_ < 3)
+            ++v_;
+        else if (!t && v_ > 0)
+            --v_;
+    }
+
+    std::uint8_t raw() const { return v_; }
+
+  private:
+    std::uint8_t v_;
+};
+
+/**
+ * Direction predictor interface.
+ *
+ * predict() must not mutate primary state; speculative history (for
+ * gshare) is updated via spec-update hooks so mispredictions can
+ * restore it, mirroring real front-ends.
+ */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predict the direction of the conditional branch at @p pc. */
+    virtual bool predict(Addr pc) = 0;
+
+    /** Train with the resolved direction. */
+    virtual void update(Addr pc, bool taken) = 0;
+
+    /** Reset all state to power-on values. */
+    virtual void reset() = 0;
+};
+
+} // namespace pifetch
+
+#endif // PIFETCH_BRANCH_PREDICTOR_HH

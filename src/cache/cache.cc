@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Set-associative cache implementation.
+ */
+
+#include "cache/cache.hh"
+
+#include <bit>
+
+namespace pifetch {
+
+Cache::Cache(const CacheConfig &cfg, ReplacementKind repl,
+             std::uint64_t seed)
+    : sets_(cfg.sets()),
+      ways_(cfg.assoc),
+      stats_(cfg.name),
+      hits_(stats_, "hits", "demand hits"),
+      misses_(stats_, "misses", "demand misses"),
+      prefetchFills_(stats_, "prefetch_fills", "lines filled by prefetch"),
+      usefulPrefetches_(stats_, "useful_prefetches",
+                        "first demand touches of prefetched lines"),
+      unusedPrefetches_(stats_, "unused_prefetches",
+                        "prefetched lines evicted untouched"),
+      evictions_(stats_, "evictions", "valid lines evicted")
+{
+    if (sets_ == 0 || (sets_ & (sets_ - 1)) != 0)
+        fatalError("cache '" + cfg.name + "': set count must be a power "
+                   "of two (size/assoc/block mismatch)");
+    if (ways_ == 0)
+        fatalError("cache '" + cfg.name + "': associativity must be >= 1");
+    setShift_ = static_cast<unsigned>(std::countr_zero(sets_));
+    lines_.resize(sets_ * ways_);
+    repl_ = makeReplacement(repl, sets_, ways_, seed);
+}
+
+unsigned
+Cache::findWay(std::uint64_t set, Addr tag) const
+{
+    const std::uint64_t base = set * ways_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        const Line &line = lines_[base + w];
+        if (line.valid && line.tag == tag)
+            return w;
+    }
+    return ways_;
+}
+
+Cache::AccessResult
+Cache::access(Addr block)
+{
+    const std::uint64_t set = setOf(block);
+    const Addr tag = tagOf(block);
+    const unsigned way = findWay(set, tag);
+
+    AccessResult res;
+    if (way == ways_) {
+        ++misses_;
+        return res;
+    }
+
+    Line &line = lines_[set * ways_ + way];
+    res.hit = true;
+    if (line.prefetched) {
+        res.firstDemandOfPrefetch = true;
+        line.prefetched = false;
+        ++usefulPrefetches_;
+    }
+    repl_->touch(set, way);
+    ++hits_;
+    return res;
+}
+
+bool
+Cache::probe(Addr block) const
+{
+    return findWay(setOf(block), tagOf(block)) != ways_;
+}
+
+Addr
+Cache::fill(Addr block, bool prefetched)
+{
+    const std::uint64_t set = setOf(block);
+    const Addr tag = tagOf(block);
+    unsigned way = findWay(set, tag);
+
+    if (way != ways_) {
+        // Already present (e.g. demand fill racing a prefetch): just
+        // refresh recency; do not downgrade an existing demand line to
+        // prefetched state.
+        Line &line = lines_[set * ways_ + way];
+        line.prefetched = line.prefetched && prefetched;
+        repl_->touch(set, way);
+        return invalidAddr;
+    }
+
+    // Prefer an invalid way before consulting the replacement policy.
+    const std::uint64_t base = set * ways_;
+    way = ways_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (!lines_[base + w].valid) {
+            way = w;
+            break;
+        }
+    }
+
+    Addr victim = invalidAddr;
+    if (way == ways_) {
+        way = repl_->victim(set);
+        Line &old = lines_[base + way];
+        victim = (old.tag << setShift_) | set;
+        if (old.prefetched)
+            ++unusedPrefetches_;
+        ++evictions_;
+    }
+
+    Line &line = lines_[base + way];
+    line.tag = tag;
+    line.valid = true;
+    line.prefetched = prefetched;
+    if (prefetched)
+        ++prefetchFills_;
+    repl_->touch(set, way);
+    return victim;
+}
+
+bool
+Cache::invalidate(Addr block)
+{
+    const std::uint64_t set = setOf(block);
+    const unsigned way = findWay(set, tagOf(block));
+    if (way == ways_)
+        return false;
+    Line &line = lines_[set * ways_ + way];
+    if (line.prefetched)
+        ++unusedPrefetches_;
+    line.valid = false;
+    line.prefetched = false;
+    line.tag = invalidAddr;
+    return true;
+}
+
+bool
+Cache::isPrefetched(Addr block) const
+{
+    const std::uint64_t set = setOf(block);
+    const unsigned way = findWay(set, tagOf(block));
+    if (way == ways_)
+        return false;
+    return lines_[set * ways_ + way].prefetched;
+}
+
+void
+Cache::flush()
+{
+    for (Line &line : lines_)
+        line = Line{};
+    repl_->reset();
+}
+
+std::uint64_t
+Cache::validLines() const
+{
+    std::uint64_t n = 0;
+    for (const Line &line : lines_)
+        n += line.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace pifetch

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Set-associative cache model operating on block addresses.
+ *
+ * The model is functional (tag array only): it answers hit/miss, tracks
+ * the prefetched bit per line (needed by PIF's index-table insertion
+ * rule, Section 4.2), and exposes explicit fill/invalidate so engines
+ * can model miss latency themselves. Timing lives in the engines, not
+ * here, matching the paper's split between trace studies and
+ * cycle-accurate runs.
+ */
+
+#ifndef PIFETCH_CACHE_CACHE_HH
+#define PIFETCH_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace pifetch {
+
+/**
+ * A single-level, set-associative, block-addressed cache.
+ *
+ * All addresses passed to this class are block addresses
+ * (byte address >> blockShift).
+ */
+class Cache
+{
+  public:
+    /** Result of a demand access. */
+    struct AccessResult
+    {
+        bool hit = false;
+        /**
+         * On a hit: whether the line was brought in by a prefetch and
+         * this is the first demand touch (PIF tags such instructions as
+         * "prefetched"; untagged triggers insert into the index table).
+         */
+        bool firstDemandOfPrefetch = false;
+    };
+
+    Cache(const CacheConfig &cfg,
+          ReplacementKind repl = ReplacementKind::LRU,
+          std::uint64_t seed = 0xc0ffee);
+
+    /**
+     * Demand access to @p block. Updates recency on hit; on miss the
+     * caller is responsible for calling fill() (possibly later, to model
+     * latency). Clears the line's prefetched bit on first demand touch.
+     */
+    AccessResult access(Addr block);
+
+    /** Tag probe with no state change (used by prefetch filtering). */
+    bool probe(Addr block) const;
+
+    /**
+     * Install @p block. Evicts the replacement victim if the set is
+     * full. @p prefetched marks the line as prefetch-installed.
+     * @return the evicted block address, or invalidAddr if none.
+     */
+    Addr fill(Addr block, bool prefetched = false);
+
+    /** Remove @p block if present. @return true if it was present. */
+    bool invalidate(Addr block);
+
+    /** True if @p block is present and still carries the prefetch bit. */
+    bool isPrefetched(Addr block) const;
+
+    /** Drop all lines and recency state. */
+    void flush();
+
+    /** Number of currently valid lines. */
+    std::uint64_t validLines() const;
+
+    std::uint64_t sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+
+    /** Demand hits observed. */
+    std::uint64_t hits() const { return hits_.value(); }
+    /** Demand misses observed. */
+    std::uint64_t misses() const { return misses_.value(); }
+    /** Lines installed by prefetch. */
+    std::uint64_t prefetchFills() const { return prefetchFills_.value(); }
+    /** Prefetched lines evicted without any demand touch. */
+    std::uint64_t unusedPrefetches() const
+    {
+        return unusedPrefetches_.value();
+    }
+    /** Demand hits on prefetched lines (first touch). */
+    std::uint64_t usefulPrefetches() const
+    {
+        return usefulPrefetches_.value();
+    }
+
+    /** Demand miss ratio. */
+    double missRatio() const
+    {
+        return ratio(misses_.value(), hits_.value() + misses_.value());
+    }
+
+    /** Statistics group for reporting. */
+    const StatGroup &stats() const { return stats_; }
+
+    /** Zero all statistics (cache contents are preserved). */
+    void resetStats() { stats_.resetAll(); }
+
+  private:
+    struct Line
+    {
+        Addr tag = invalidAddr;
+        bool valid = false;
+        bool prefetched = false;
+    };
+
+    std::uint64_t setOf(Addr block) const { return block & (sets_ - 1); }
+    Addr tagOf(Addr block) const { return block >> setShift_; }
+
+    /** Find the way holding @p block in its set, or ways() if absent. */
+    unsigned findWay(std::uint64_t set, Addr tag) const;
+
+    std::uint64_t sets_;
+    unsigned ways_;
+    unsigned setShift_;
+    std::vector<Line> lines_;
+    std::unique_ptr<ReplacementPolicy> repl_;
+
+    StatGroup stats_;
+    Counter hits_;
+    Counter misses_;
+    Counter prefetchFills_;
+    Counter usefulPrefetches_;
+    Counter unusedPrefetches_;
+    Counter evictions_;
+};
+
+} // namespace pifetch
+
+#endif // PIFETCH_CACHE_CACHE_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Memory hierarchy implementation.
+ */
+
+#include "cache/hierarchy.hh"
+
+namespace pifetch {
+
+namespace {
+
+CacheConfig
+l2Config(const MemoryConfig &cfg)
+{
+    CacheConfig c;
+    c.name = "l2";
+    c.sizeBytes = cfg.l2SizeBytes;
+    c.assoc = cfg.l2Assoc;
+    c.blockBytes = 64;
+    c.hitLatency = cfg.l2HitLatency;
+    c.mshrs = cfg.l2Mshrs;
+    return c;
+}
+
+} // namespace
+
+MemoryHierarchy::MemoryHierarchy(const MemoryConfig &cfg)
+    : l2HitLatency_(cfg.l2HitLatency + cfg.interconnectLatency),
+      memLatency_(cfg.memLatency + cfg.interconnectLatency),
+      l2_(l2Config(cfg), ReplacementKind::LRU)
+{
+}
+
+Cycle
+MemoryHierarchy::request(Addr block)
+{
+    if (l2_.access(block).hit)
+        return l2HitLatency_;
+    l2_.fill(block, false);
+    return memLatency_;
+}
+
+} // namespace pifetch

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * MSHR file implementation.
+ */
+
+#include "cache/mshr.hh"
+
+#include <algorithm>
+
+namespace pifetch {
+
+MshrFile::MshrFile(unsigned capacity)
+    : capacity_(capacity)
+{
+    entries_.reserve(capacity);
+}
+
+bool
+MshrFile::allocate(Addr block, Cycle ready_at, bool is_prefetch)
+{
+    if (full() || contains(block))
+        return false;
+    Entry e;
+    e.block = block;
+    e.readyAt = ready_at;
+    e.isPrefetch = is_prefetch;
+    entries_.emplace(block, e);
+    return true;
+}
+
+Cycle
+MshrFile::noteDemand(Addr block)
+{
+    auto it = entries_.find(block);
+    if (it == entries_.end())
+        panic("noteDemand on block with no outstanding fill");
+    it->second.demandHit = true;
+    return it->second.readyAt;
+}
+
+std::vector<MshrFile::Entry>
+MshrFile::drainReady(Cycle now)
+{
+    std::vector<Entry> ready;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second.readyAt <= now) {
+            ready.push_back(it->second);
+            it = entries_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    std::sort(ready.begin(), ready.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.readyAt < b.readyAt ||
+                         (a.readyAt == b.readyAt && a.block < b.block);
+              });
+    return ready;
+}
+
+} // namespace pifetch

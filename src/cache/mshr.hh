@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Miss status holding registers for the cycle-level engine.
+ *
+ * Tracks in-flight block fills with their completion cycles. Demand
+ * misses and prefetches share the file (Table I: 32 MSHRs on L1-I);
+ * a full file back-pressures both.
+ */
+
+#ifndef PIFETCH_CACHE_MSHR_HH
+#define PIFETCH_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pifetch {
+
+/**
+ * A bounded set of outstanding misses keyed by block address.
+ */
+class MshrFile
+{
+  public:
+    /** One outstanding fill. */
+    struct Entry
+    {
+        Addr block = invalidAddr;
+        Cycle readyAt = 0;
+        bool isPrefetch = false;
+        /** A demand access arrived while the fill was in flight. */
+        bool demandHit = false;
+    };
+
+    explicit MshrFile(unsigned capacity);
+
+    /** True when no further allocations are possible. */
+    bool full() const { return entries_.size() >= capacity_; }
+
+    /** True if a fill for @p block is already outstanding. */
+    bool contains(Addr block) const
+    {
+        return entries_.count(block) != 0;
+    }
+
+    /**
+     * Allocate an entry for @p block completing at @p ready_at.
+     * @return false if the file is full or the block already present.
+     */
+    bool allocate(Addr block, Cycle ready_at, bool is_prefetch);
+
+    /**
+     * Record a demand access to an in-flight block (a prefetch that is
+     * "caught" by demand becomes partially useful: the core waits only
+     * the residual latency).
+     * @return the completion cycle of the in-flight fill.
+     */
+    Cycle noteDemand(Addr block);
+
+    /**
+     * Remove and return all entries whose fills complete at or before
+     * @p now, in completion order.
+     */
+    std::vector<Entry> drainReady(Cycle now);
+
+    /** Outstanding entry count. */
+    std::size_t size() const { return entries_.size(); }
+
+    unsigned capacity() const { return capacity_; }
+
+    /** Drop all entries. */
+    void clear() { entries_.clear(); }
+
+  private:
+    unsigned capacity_;
+    std::unordered_map<Addr, Entry> entries_;
+};
+
+} // namespace pifetch
+
+#endif // PIFETCH_CACHE_MSHR_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Replacement policy implementations.
+ */
+
+#include "cache/replacement.hh"
+
+#include <algorithm>
+
+#include "common/types.hh"
+
+namespace pifetch {
+
+LruPolicy::LruPolicy(std::uint64_t sets, unsigned ways)
+    : ways_(ways), stamp_(sets * ways, 0)
+{
+}
+
+void
+LruPolicy::touch(std::uint64_t set, unsigned way)
+{
+    stamp_[set * ways_ + way] = ++tick_;
+}
+
+unsigned
+LruPolicy::victim(std::uint64_t set)
+{
+    const std::uint64_t base = set * ways_;
+    unsigned best = 0;
+    std::uint64_t best_stamp = stamp_[base];
+    for (unsigned w = 1; w < ways_; ++w) {
+        if (stamp_[base + w] < best_stamp) {
+            best_stamp = stamp_[base + w];
+            best = w;
+        }
+    }
+    return best;
+}
+
+void
+LruPolicy::reset()
+{
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    tick_ = 0;
+}
+
+RandomPolicy::RandomPolicy(std::uint64_t sets, unsigned ways,
+                           std::uint64_t seed)
+    : ways_(ways), seed_(seed), rng_(seed)
+{
+    (void)sets;
+}
+
+void
+RandomPolicy::touch(std::uint64_t set, unsigned way)
+{
+    (void)set;
+    (void)way;
+}
+
+unsigned
+RandomPolicy::victim(std::uint64_t set)
+{
+    (void)set;
+    return static_cast<unsigned>(rng_.below(ways_));
+}
+
+void
+RandomPolicy::reset()
+{
+    rng_ = Rng(seed_);
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacement(ReplacementKind kind, std::uint64_t sets, unsigned ways,
+                std::uint64_t seed)
+{
+    switch (kind) {
+      case ReplacementKind::LRU:
+        return std::make_unique<LruPolicy>(sets, ways);
+      case ReplacementKind::Random:
+        return std::make_unique<RandomPolicy>(sets, ways, seed);
+    }
+    panic("unknown replacement kind");
+}
+
+} // namespace pifetch

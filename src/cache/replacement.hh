@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Replacement policies for the set-associative cache model.
+ *
+ * The paper's central observation (Section 2.1) is that block-granular
+ * replacement fragments temporal instruction streams: victim selection
+ * ignores which blocks are accessed together. We provide true LRU (the
+ * evaluated configuration) plus random replacement for ablation and
+ * testing.
+ */
+
+#ifndef PIFETCH_CACHE_REPLACEMENT_HH
+#define PIFETCH_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace pifetch {
+
+/**
+ * Abstract per-set replacement state.
+ *
+ * The cache calls touch() on every hit or fill and victim() when it
+ * needs to evict. Ways are identified by index within the set.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Record a use of @p way in @p set. */
+    virtual void touch(std::uint64_t set, unsigned way) = 0;
+
+    /** Choose a victim way in @p set (valid lines only, caller decides). */
+    virtual unsigned victim(std::uint64_t set) = 0;
+
+    /** Reset all recency state. */
+    virtual void reset() = 0;
+};
+
+/** True LRU via per-line monotonic timestamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(std::uint64_t sets, unsigned ways);
+
+    void touch(std::uint64_t set, unsigned way) override;
+    unsigned victim(std::uint64_t set) override;
+    void reset() override;
+
+  private:
+    unsigned ways_;
+    std::uint64_t tick_ = 0;
+    std::vector<std::uint64_t> stamp_;  //!< sets x ways, last-use tick
+};
+
+/** Uniform-random victim selection (deterministic via seeded Rng). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(std::uint64_t sets, unsigned ways,
+                 std::uint64_t seed = 0xc0ffee);
+
+    void touch(std::uint64_t set, unsigned way) override;
+    unsigned victim(std::uint64_t set) override;
+    void reset() override;
+
+  private:
+    unsigned ways_;
+    std::uint64_t seed_;
+    Rng rng_;
+};
+
+/** Replacement policy selector. */
+enum class ReplacementKind { LRU, Random };
+
+/** Factory for replacement policies. */
+std::unique_ptr<ReplacementPolicy>
+makeReplacement(ReplacementKind kind, std::uint64_t sets, unsigned ways,
+                std::uint64_t seed = 0xc0ffee);
+
+} // namespace pifetch
+
+#endif // PIFETCH_CACHE_REPLACEMENT_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Configuration structures for the simulated system.
+ *
+ * Defaults reproduce Table I of the paper (the 16-core UltraSPARC-III-
+ * like CMP) and the PIF design parameters from Section 4 / Section 5
+ * (2+5 block spatial regions, 4-entry temporal compactor, 32K-region
+ * history buffer, 4 SABs with a 7-region window).
+ */
+
+#ifndef PIFETCH_COMMON_CONFIG_HH
+#define PIFETCH_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "common/types.hh"
+
+namespace pifetch {
+
+/** Geometry and timing of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 64 * 1024;
+    unsigned assoc = 2;
+    unsigned blockBytes = 64;
+    Cycle hitLatency = 2;   //!< load-to-use latency on a hit
+    unsigned mshrs = 32;    //!< outstanding misses supported
+
+    /** Number of sets implied by the geometry. */
+    std::uint64_t sets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(assoc) * blockBytes);
+    }
+};
+
+/** Hybrid branch predictor sizing (Table I: 16K gshare + 16K bimodal). */
+struct BranchConfig
+{
+    unsigned gshareEntries = 16 * 1024;
+    unsigned bimodalEntries = 16 * 1024;
+    unsigned chooserEntries = 16 * 1024;
+    unsigned historyBits = 14;
+    unsigned btbEntries = 4 * 1024;
+    unsigned btbAssoc = 4;
+    unsigned rasEntries = 32;
+};
+
+/** Out-of-order core parameters (Table I). */
+struct CoreConfig
+{
+    unsigned dispatchWidth = 3;
+    unsigned retireWidth = 3;
+    unsigned robEntries = 96;
+    unsigned fetchQueueEntries = 24;  //!< pre-dispatch queue
+    unsigned frontendDepth = 5;       //!< fetch-to-dispatch stages
+    /**
+     * Branch misprediction resolution delay (cycles between fetching a
+     * mispredicted branch and the redirect). Data-dependent in real
+     * machines (Section 2.2); modelled as a uniform draw in
+     * [minResolveCycles, maxResolveCycles].
+     */
+    Cycle minResolveCycles = 6;
+    Cycle maxResolveCycles = 24;
+    /**
+     * Fraction of instructions that stall retirement as if waiting on a
+     * long-latency data access, and the stall magnitude. This produces
+     * the pipeline-occupancy variance the paper blames for the variable
+     * number of wrong-path fetches.
+     */
+    double dataStallFraction = 0.02;
+    Cycle dataStallCycles = 40;
+};
+
+/** Shared L2 and main memory timing (Table I: NUCA L2, 45ns memory). */
+struct MemoryConfig
+{
+    std::uint64_t l2SizeBytes = 8ull * 1024 * 1024;  //!< 512KB x 16 cores
+    unsigned l2Assoc = 16;
+    Cycle l2HitLatency = 15;
+    unsigned l2Mshrs = 64;
+    Cycle memLatency = 90;   //!< 45 ns at 2 GHz
+    /**
+     * Average 2D-mesh round-trip added to every request leaving the
+     * core (Table I's 4x4 mesh interconnect; the paper folds NUCA
+     * bank distance into access latency the same way).
+     */
+    Cycle interconnectLatency = 10;
+};
+
+/** Proactive Instruction Fetch parameters (Sections 4 and 5). */
+struct PifConfig
+{
+    unsigned blocksBefore = 2;   //!< spatial-region blocks preceding trigger
+    unsigned blocksAfter = 5;    //!< spatial-region blocks succeeding trigger
+    unsigned temporalEntries = 4;   //!< temporal compactor MRU depth
+    std::uint64_t historyRegions = 32 * 1024;  //!< history buffer capacity
+    unsigned indexEntries = 8 * 1024;
+    unsigned indexAssoc = 4;
+    unsigned numSabs = 4;        //!< concurrent stream address buffers
+    unsigned sabWindowRegions = 7;  //!< lookahead window per SAB
+    bool separateTrapLevels = true; //!< record per-trap-level streams
+
+    /** Total blocks covered by one spatial region record. */
+    unsigned regionBlocks() const { return blocksBefore + 1 + blocksAfter; }
+};
+
+/** TIFS baseline parameters (miss-stream temporal streaming). */
+struct TifsConfig
+{
+    std::uint64_t historyEntries = 32 * 1024;
+    unsigned indexEntries = 8 * 1024;
+    unsigned indexAssoc = 4;
+    unsigned numSabs = 4;
+    unsigned sabWindowBlocks = 12;
+    bool unbounded = false;  //!< Fig. 10 uses no storage limitation
+};
+
+/** Next-line prefetcher parameters. */
+struct NextLineConfig
+{
+    unsigned degree = 4;  //!< blocks prefetched past the accessed block
+};
+
+/** Interrupt (trap) injection parameters for the workload executor. */
+struct TrapConfig
+{
+    double perInstrProbability = 2e-5;  //!< spontaneous interrupt rate
+    unsigned handlerCount = 12;         //!< distinct handler routines
+};
+
+/** Complete single-core system configuration. */
+struct SystemConfig
+{
+    CacheConfig l1i{"l1i", 64 * 1024, 2, 64, 2, 32};
+    CacheConfig l1d{"l1d", 64 * 1024, 2, 64, 2, 32};
+    BranchConfig branch;
+    CoreConfig core;
+    MemoryConfig memory;
+    PifConfig pif;
+    TifsConfig tifs;
+    NextLineConfig nextLine;
+    TrapConfig trap;
+    unsigned numCores = 16;   //!< documented; engines simulate per core
+    std::uint64_t seed = 42;  //!< master seed for deterministic runs
+};
+
+/** Print a human-readable rendition of Table I for this config. */
+void printSystemConfig(const SystemConfig &cfg, std::ostream &os);
+
+} // namespace pifetch
+
+#endif // PIFETCH_COMMON_CONFIG_HH

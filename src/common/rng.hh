@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic element of the simulator (workload generation,
+ * data-dependent branch outcomes, interrupt arrivals, resolution
+ * latencies) draws from an explicitly seeded Rng instance so that every
+ * figure in EXPERIMENTS.md regenerates bit-identically. We use the
+ * xoshiro256** generator: fast, high quality, and trivially seedable.
+ */
+
+#ifndef PIFETCH_COMMON_RNG_HH
+#define PIFETCH_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace pifetch {
+
+/**
+ * Deterministic random number generator (xoshiro256**).
+ *
+ * Not thread-safe; each simulated component owns its own instance.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed, expanded via splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            // splitmix64 seeding as recommended by the xoshiro authors.
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Modulo bias is negligible for the bounds used here (< 2^32).
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric positive integer with the given mean (at least 1).
+     *
+     * Used for loop trip counts and burst lengths. The tail is capped at
+     * 64x the mean to keep workload generation bounded.
+     */
+    std::uint64_t
+    geometric(double mean)
+    {
+        if (mean <= 1.0)
+            return 1;
+        const double p = 1.0 / mean;
+        std::uint64_t n = 1;
+        while (n < 64 * static_cast<std::uint64_t>(mean) && !chance(p))
+            ++n;
+        return n;
+    }
+
+    /**
+     * Zipf-distributed index in [0, n) with exponent s > 0, s != 1.
+     *
+     * Server code is famously skewed: a few hot functions dominate while
+     * a long tail is touched rarely. Uses the inverse-CDF of the
+     * continuous bounded Pareto envelope, which is a standard and fast
+     * approximation of the discrete Zipf for workload synthesis.
+     */
+    std::uint64_t
+    zipf(std::uint64_t n, double s)
+    {
+        if (n <= 1)
+            return 0;
+        const double one_minus_s = 1.0 - s;
+        const double nn = static_cast<double>(n);
+        const double u = uniform();
+        const double x =
+            std::pow(u * (std::pow(nn, one_minus_s) - 1.0) + 1.0,
+                     1.0 / one_minus_s);
+        std::uint64_t k = static_cast<std::uint64_t>(x);
+        if (k >= n)
+            k = n - 1;
+        return k;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace pifetch
+
+#endif // PIFETCH_COMMON_RNG_HH

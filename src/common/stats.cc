@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Statistics implementation.
+ */
+
+#include "common/stats.hh"
+
+#include <cstdio>
+
+namespace pifetch {
+
+Counter::Counter(StatGroup &group, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    group.enroll(this);
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const Counter *c : counters_) {
+        os << name_ << '.' << c->name() << ' ' << c->value()
+           << "  # " << c->desc() << '\n';
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Counter *c : counters_)
+        c->reset();
+}
+
+std::string
+percent(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f%%", fraction * 100.0);
+    return buf;
+}
+
+} // namespace pifetch

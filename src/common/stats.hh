@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Lightweight statistics counters with named registration.
+ *
+ * Components own a StatGroup; counters register themselves with a name
+ * and description so that engines can dump a full machine-readable
+ * report after a run (mirroring gem5's stats package in miniature).
+ */
+
+#ifndef PIFETCH_COMMON_STATS_HH
+#define PIFETCH_COMMON_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pifetch {
+
+class StatGroup;
+
+/**
+ * A named 64-bit event counter.
+ *
+ * Counters are value types owned by components; registration with a
+ * StatGroup is optional but enables bulk reporting.
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Register the counter under @p group with a name and description. */
+    Counter(StatGroup &group, std::string name, std::string desc);
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
+
+    /** Current count. */
+    std::uint64_t value() const { return value_; }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A collection of counters belonging to one component.
+ *
+ * The group stores non-owning pointers; counters must outlive the group
+ * uses (components own both, so lifetimes coincide naturally).
+ */
+class StatGroup
+{
+  public:
+    /** @param name Prefix printed before each counter ("l1i", "pif"...). */
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Called by Counter's registering constructor. */
+    void enroll(Counter *c) { counters_.push_back(c); }
+
+    /** Dump "group.counter value # desc" lines to @p os. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered counter. */
+    void resetAll();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<Counter *> counters_;
+};
+
+/** Safe ratio: returns 0 when the denominator is zero. */
+inline double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0 : static_cast<double>(num) /
+                            static_cast<double>(den);
+}
+
+/** Format a fraction as a percentage string with two decimals. */
+std::string percent(double fraction);
+
+} // namespace pifetch
+
+#endif // PIFETCH_COMMON_STATS_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fundamental types and address arithmetic shared by every module.
+ *
+ * The simulated machine follows Table I of the paper: 64-byte cache
+ * blocks throughout the hierarchy. Instruction addresses are byte
+ * addresses; most predictor structures operate on block addresses
+ * (byte address >> 6).
+ */
+
+#ifndef PIFETCH_COMMON_TYPES_HH
+#define PIFETCH_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pifetch {
+
+/** Byte address in the simulated instruction address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Count of dynamic instructions. */
+using InstCount = std::uint64_t;
+
+/** Log2 of the cache block size (64B blocks, Table I). */
+constexpr unsigned blockShift = 6;
+
+/** Cache block size in bytes. */
+constexpr Addr blockBytes = Addr{1} << blockShift;
+
+/** Fixed instruction size (SPARC-like fixed 4-byte encoding). */
+constexpr Addr instrBytes = 4;
+
+/** Instructions per cache block. */
+constexpr unsigned instrsPerBlock =
+    static_cast<unsigned>(blockBytes / instrBytes);
+
+/** An invalid / sentinel address. */
+constexpr Addr invalidAddr = ~Addr{0};
+
+/** Convert a byte address to a block address (block index). */
+constexpr Addr
+blockAddr(Addr byte_addr)
+{
+    return byte_addr >> blockShift;
+}
+
+/** Convert a block address back to the byte address of its first byte. */
+constexpr Addr
+blockBase(Addr block_addr)
+{
+    return block_addr << blockShift;
+}
+
+/** True if two byte addresses fall in the same cache block. */
+constexpr bool
+sameBlock(Addr a, Addr b)
+{
+    return blockAddr(a) == blockAddr(b);
+}
+
+/** Processor trap level of an instruction (0 = application, 1+ = handler). */
+using TrapLevel = std::uint8_t;
+
+/** Maximum trap nesting depth that the recorders separate (paper uses 2). */
+constexpr TrapLevel maxTrapLevels = 2;
+
+/**
+ * Abort the process on an internal invariant violation.
+ *
+ * Mirrors gem5's panic(): this is for simulator bugs, never for user
+ * configuration errors (those use fatalError()).
+ */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/** Exit with an error for invalid user configuration. */
+[[noreturn]] inline void
+fatalError(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+} // namespace pifetch
+
+#endif // PIFETCH_COMMON_TYPES_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Functional front-end model: derives the fetch-access stream (with
+ * branch-predictor noise) and the miss stream from the retire-order
+ * stream.
+ *
+ * This component recreates, mechanistically, the two stream-corrupting
+ * effects of Section 2:
+ *  - Branch-predictor noise (Section 2.2): every control transfer is
+ *    predicted with the Table I hybrid predictor + BTB + RAS; on a
+ *    misprediction the front-end injects a burst of sequential
+ *    wrong-path block fetches whose length is set by a data-dependent
+ *    resolution delay, then redirects.
+ *  - Cache filtering (Section 2.1): every block-granularity fetch
+ *    probes (and on a miss, fills) the L1-I, so the resulting miss
+ *    stream is the access stream as fragmented by LRU replacement.
+ *
+ * Spontaneous interrupts (Section 2.3) appear in the retire stream as
+ * trap-level changes; the front-end treats them as asynchronous
+ * redirects (flush, no wrong-path burst, no predictor training).
+ */
+
+#ifndef PIFETCH_CORE_FRONTEND_HH
+#define PIFETCH_CORE_FRONTEND_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/btb.hh"
+#include "branch/hybrid.hh"
+#include "branch/ras.hh"
+#include "cache/cache.hh"
+#include "cache/line_buffer.hh"
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "trace/record.hh"
+
+namespace pifetch {
+
+/** One block-granularity fetch access produced by the front-end. */
+struct FetchAccess
+{
+    /** Block address fetched. */
+    Addr block = 0;
+    /** True for correct-path fetches; false for wrong-path bursts. */
+    bool correctPath = true;
+    /** Trap level of the fetch. */
+    TrapLevel trapLevel = 0;
+    /** L1-I (or line-buffer) hit. */
+    bool hit = false;
+    /** Hit on a prefetched line (first demand touch clears the bit). */
+    bool wasPrefetched = false;
+};
+
+/**
+ * Functional front-end fetch model.
+ *
+ * Owns the branch predictor, BTB, RAS and line buffer; operates on a
+ * caller-owned L1-I cache so engines can share the cache with the
+ * prefetch fill path. For each retired instruction fed to step(), the
+ * front-end appends the block-granularity fetch accesses it performs
+ * (correct-path access plus any wrong-path burst) to an event list the
+ * caller consumes.
+ */
+class Frontend
+{
+  public:
+    /**
+     * @param cfg System configuration (core + branch sizing).
+     * @param l1i The instruction cache (shared with prefetch fills).
+     * @param seed Seed for data-dependent resolution delays.
+     */
+    Frontend(const SystemConfig &cfg, Cache &l1i, std::uint64_t seed);
+
+    /**
+     * Process one retired instruction.
+     *
+     * Appends the resulting fetch accesses to @p events (not cleared).
+     * The first event, if any, is the correct-path fetch of
+     * @p instr's block (only present on a block transition); any
+     * following events are wrong-path burst fetches triggered by a
+     * misprediction of @p instr.
+     *
+     * @return true if the instruction was delivered from a block that
+     *         was NOT explicitly prefetched ("tagged", Section 4.2).
+     */
+    bool step(const RetiredInstr &instr, std::vector<FetchAccess> &events);
+
+    /** Mispredicted control transfers observed. */
+    std::uint64_t mispredicts() const { return mispredicts_; }
+    /** Control transfers predicted. */
+    std::uint64_t predictions() const { return predictions_; }
+    /** Wrong-path block fetches injected. */
+    std::uint64_t wrongPathFetches() const { return wrongPathFetches_; }
+    /** Correct-path block fetches issued. */
+    std::uint64_t correctPathFetches() const
+    {
+        return correctPathFetches_;
+    }
+    /** Correct-path fetches that missed in the L1-I. */
+    std::uint64_t correctPathMisses() const { return correctPathMisses_; }
+
+    /** The line buffer between core and L1-I (tests). */
+    LineBuffer &lineBuffer() { return lineBuffer_; }
+
+    /** Reset predictor and fetch state (cache is not touched). */
+    void reset();
+
+  private:
+    /**
+     * Perform one block fetch: line-buffer check, L1-I access, fill on
+     * miss, event emission.
+     * @return the emitted event (also appended to @p events).
+     */
+    FetchAccess fetchBlock(Addr block, bool correct_path, TrapLevel tl,
+                           std::vector<FetchAccess> &events);
+
+    /** Inject a wrong-path burst starting at byte address @p start_pc. */
+    void injectWrongPath(Addr start_pc, TrapLevel tl,
+                         std::vector<FetchAccess> &events);
+
+    /**
+     * Predict the control transfer of @p instr.
+     * @param[out] wrong_path_pc Where fetch would go on this prediction
+     *             if it is wrong (the not-taken path, predicted target,
+     *             or sequential fall-through).
+     * @return true if the prediction redirects fetch correctly.
+     */
+    bool predictTransfer(const RetiredInstr &instr, Addr &wrong_path_pc);
+
+    const CoreConfig coreCfg_;
+    Cache &l1i_;
+    LineBuffer lineBuffer_;
+    HybridPredictor direction_;
+    Btb btb_;
+    ReturnAddressStack ras_;
+    Rng rng_;
+
+    /** Block of the most recent correct-path fetch (collapse filter). */
+    Addr curBlock_ = invalidAddr;
+    /** Tag state of the current block's delivery. */
+    bool curBlockTagged_ = true;
+    /** Trap level of the previous retired instruction. */
+    TrapLevel prevTl_ = 0;
+
+    std::uint64_t predictions_ = 0;
+    std::uint64_t mispredicts_ = 0;
+    std::uint64_t wrongPathFetches_ = 0;
+    std::uint64_t correctPathFetches_ = 0;
+    std::uint64_t correctPathMisses_ = 0;
+};
+
+} // namespace pifetch
+
+#endif // PIFETCH_CORE_FRONTEND_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * History buffer (Section 4.2).
+ *
+ * A circular FIFO of spatial region records in retirement order. Each
+ * record is addressed by a monotonically increasing sequence number so
+ * that index-table pointers and SAB read pointers can detect when the
+ * record they reference has been overwritten by newer history.
+ */
+
+#ifndef PIFETCH_PIF_HISTORY_BUFFER_HH
+#define PIFETCH_PIF_HISTORY_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pif/region.hh"
+
+namespace pifetch {
+
+/**
+ * Circular buffer of SpatialRegion records with stable sequence
+ * numbers. Capacity 0 means unbounded (used for the no-storage-limit
+ * study of Figure 10 left).
+ */
+class HistoryBuffer
+{
+  public:
+    /** @param capacity Records retained; 0 = unbounded. */
+    explicit HistoryBuffer(std::uint64_t capacity);
+
+    /**
+     * Append a record.
+     * @return the sequence number assigned to it.
+     */
+    std::uint64_t append(const SpatialRegion &rec);
+
+    /** True if the record at @p seq is still retained. */
+    bool
+    valid(std::uint64_t seq) const
+    {
+        if (seq >= next_)
+            return false;
+        return capacity_ == 0 || next_ - seq <= capacity_;
+    }
+
+    /** Read the record at sequence @p seq (must be valid()). */
+    const SpatialRegion &at(std::uint64_t seq) const;
+
+    /** Sequence number the next append will receive (the tail). */
+    std::uint64_t tail() const { return next_; }
+
+    /** Records appended over all time. */
+    std::uint64_t appended() const { return next_; }
+
+    /** Configured capacity (0 = unbounded). */
+    std::uint64_t capacity() const { return capacity_; }
+
+    /** Drop all contents. */
+    void reset();
+
+  private:
+    std::uint64_t capacity_;
+    std::uint64_t next_ = 0;
+    std::vector<SpatialRegion> ring_;
+};
+
+} // namespace pifetch
+
+#endif // PIFETCH_PIF_HISTORY_BUFFER_HH

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * PIF prefetcher implementation.
+ */
+
+#include "pif/pif_prefetcher.hh"
+
+#include <algorithm>
+
+namespace pifetch {
+
+namespace {
+
+/** Queue depth bound: drop candidates beyond this (hardware queue). */
+constexpr std::size_t prefetchQueueCap = 256;
+
+} // namespace
+
+PifPrefetcher::PifPrefetcher(const PifConfig &cfg, bool unbounded_storage)
+    : cfg_(cfg)
+{
+    const unsigned num_chains = cfg_.separateTrapLevels ? 2 : 1;
+    for (unsigned c = 0; c < num_chains; ++c) {
+        Chain chain;
+        chain.spatial = std::make_unique<SpatialCompactor>(cfg_);
+        chain.temporal =
+            std::make_unique<TemporalCompactor>(cfg_.temporalEntries);
+        std::uint64_t hist_cap = 0;
+        unsigned index_entries = 0;
+        if (!unbounded_storage) {
+            if (num_chains == 2) {
+                // Handlers are compact: give TL1 1/8 of the capacity.
+                hist_cap = (c == 0) ? cfg_.historyRegions * 7 / 8
+                                    : cfg_.historyRegions / 8;
+                index_entries = (c == 0)
+                    ? cfg_.indexEntries * 7 / 8
+                    : cfg_.indexEntries / 8;
+                // Keep set geometry valid (power-of-two sets).
+                index_entries = std::max(index_entries,
+                                         cfg_.indexAssoc * 2);
+                unsigned sets = index_entries / cfg_.indexAssoc;
+                while (sets & (sets - 1))
+                    --sets;
+                index_entries = sets * cfg_.indexAssoc;
+            } else {
+                hist_cap = cfg_.historyRegions;
+                index_entries = cfg_.indexEntries;
+            }
+        }
+        chain.history = std::make_unique<HistoryBuffer>(hist_cap);
+        chain.index = std::make_unique<IndexTable>(index_entries,
+                                                   cfg_.indexAssoc);
+        chains_.push_back(std::move(chain));
+    }
+
+    for (unsigned s = 0; s < cfg_.numSabs; ++s) {
+        sabs_.emplace_back(cfg_.sabWindowRegions, cfg_.blocksBefore);
+    }
+}
+
+void
+PifPrefetcher::enqueue(Addr block)
+{
+    if (queued_.count(block) || queue_.size() >= prefetchQueueCap)
+        return;
+    queue_.push_back(block);
+    queued_.insert(block);
+    ++issued_;
+}
+
+void
+PifPrefetcher::recordRegion(Chain &chain, const SpatialRegion &rec)
+{
+    if (!chain.temporal->admit(rec))
+        return;  // filtered loop-iteration redundancy
+    const std::uint64_t seq = chain.history->append(rec);
+    // Index insertion is conditional on the fetch-stage tag; history
+    // insertion is unconditional (Section 4.2).
+    if (rec.triggerTagged)
+        chain.index->insert(rec.triggerPc, seq);
+}
+
+void
+PifPrefetcher::onRetire(const RetiredInstr &instr, bool tagged)
+{
+    Chain &chain = chains_[chainFor(instr.trapLevel)];
+    if (auto done = chain.spatial->observe(instr.pc, tagged,
+                                           instr.trapLevel)) {
+        recordRegion(chain, *done);
+    }
+}
+
+void
+PifPrefetcher::onFetchAccess(const FetchInfo &info)
+{
+    // 1. Stream advancement: active SABs watch every front-end fetch.
+    scratch_.clear();
+    bool in_stream = false;
+    for (StreamAddressBuffer &sab : sabs_) {
+        if (sab.onAccess(info.block, scratch_)) {
+            in_stream = true;
+            sab.touch(++sabTick_);
+        }
+    }
+
+    // Coverage accounting (correct-path fetches only).
+    if (info.correctPath) {
+        const TrapLevel tl = std::min<TrapLevel>(info.trapLevel,
+                                                 maxTrapLevels - 1);
+        ++total_[tl];
+        const bool covered = (info.hit && info.wasPrefetched) ||
+                             in_stream || queued_.count(info.block) != 0;
+        if (covered)
+            ++covered_[tl];
+    }
+
+    // 2. Stream trigger: a fetch that was not delivered by a prefetch
+    // consults the index table (Section 4.3).
+    if (!(info.hit && info.wasPrefetched) && !in_stream) {
+        Chain &chain = chains_[chainFor(info.trapLevel)];
+        if (auto seq = chain.index->lookup(info.pc)) {
+            if (chain.history->valid(*seq)) {
+                // Allocate the LRU SAB for the new stream.
+                StreamAddressBuffer *victim = &sabs_[0];
+                for (StreamAddressBuffer &sab : sabs_) {
+                    if (!sab.active()) {
+                        victim = &sab;
+                        break;
+                    }
+                    if (sab.lastUse() < victim->lastUse())
+                        victim = &sab;
+                }
+                victim->allocate(chain.history.get(), *seq, scratch_);
+                victim->touch(++sabTick_);
+                ++sabAllocations_;
+            }
+        }
+    }
+
+    for (Addr b : scratch_)
+        enqueue(b);
+}
+
+unsigned
+PifPrefetcher::drainRequests(std::vector<Addr> &out, unsigned max)
+{
+    unsigned n = 0;
+    while (n < max && !queue_.empty()) {
+        const Addr b = queue_.front();
+        queue_.pop_front();
+        queued_.erase(b);
+        out.push_back(b);
+        ++n;
+    }
+    return n;
+}
+
+double
+PifPrefetcher::coverage() const
+{
+    std::uint64_t cov = 0;
+    std::uint64_t tot = 0;
+    for (unsigned tl = 0; tl < maxTrapLevels; ++tl) {
+        cov += covered_[tl];
+        tot += total_[tl];
+    }
+    return tot == 0 ? 0.0 : static_cast<double>(cov) /
+                            static_cast<double>(tot);
+}
+
+std::uint64_t
+PifPrefetcher::regionsRecorded() const
+{
+    std::uint64_t n = 0;
+    for (const Chain &c : chains_)
+        n += c.history->appended();
+    return n;
+}
+
+void
+PifPrefetcher::resetStats()
+{
+    Prefetcher::resetStats();
+    for (unsigned tl = 0; tl < maxTrapLevels; ++tl) {
+        covered_[tl] = 0;
+        total_[tl] = 0;
+    }
+    sabAllocations_ = 0;
+}
+
+void
+PifPrefetcher::reset()
+{
+    for (Chain &c : chains_) {
+        c.spatial->reset();
+        c.temporal->reset();
+        c.history->reset();
+        c.index->reset();
+    }
+    for (StreamAddressBuffer &sab : sabs_)
+        sab.deactivate();
+    sabTick_ = 0;
+    queue_.clear();
+    queued_.clear();
+    for (unsigned tl = 0; tl < maxTrapLevels; ++tl) {
+        covered_[tl] = 0;
+        total_[tl] = 0;
+    }
+    sabAllocations_ = 0;
+    issued_ = 0;
+}
+
+} // namespace pifetch

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Proactive Instruction Fetch prefetcher (Section 4, Figure 4).
+ *
+ * Assembles the four PIF hardware structures: per-trap-level spatial
+ * and temporal compactors feeding per-trap-level history buffers and
+ * index tables, plus a shared pool of stream address buffers that
+ * monitor front-end fetches and issue prefetch candidates.
+ */
+
+#ifndef PIFETCH_PIF_PIF_PREFETCHER_HH
+#define PIFETCH_PIF_PIF_PREFETCHER_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/config.hh"
+#include "pif/history_buffer.hh"
+#include "pif/index_table.hh"
+#include "pif/sab.hh"
+#include "pif/spatial_compactor.hh"
+#include "pif/temporal_compactor.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace pifetch {
+
+/**
+ * The complete PIF mechanism as an engine-pluggable Prefetcher.
+ *
+ * With cfg.separateTrapLevels set (the RetireSep configuration of
+ * Figure 2), interrupt-handler execution records into its own history
+ * so handler noise cannot fragment application streams; the history
+ * buffer capacity is split 7/8 : 1/8 between TL0 and TL1.
+ */
+class PifPrefetcher : public Prefetcher
+{
+  public:
+    /**
+     * @param cfg PIF design parameters.
+     * @param unbounded_storage Remove history/index capacity limits
+     *        (the Figure 10 "no storage limitation" configuration).
+     */
+    explicit PifPrefetcher(const PifConfig &cfg,
+                           bool unbounded_storage = false);
+
+    std::string name() const override { return "PIF"; }
+
+    void onFetchAccess(const FetchInfo &info) override;
+    void onRetire(const RetiredInstr &instr, bool tagged) override;
+    unsigned drainRequests(std::vector<Addr> &out, unsigned max) override;
+    void reset() override;
+    void resetStats() override;
+
+    /**
+     * Prediction coverage counters (Section 5.4's "predictor coverage"):
+     * a correct-path fetch access counts as covered when it was
+     * delivered from a prefetched block, matched an active SAB window,
+     * or was already sitting in the prefetch queue.
+     */
+    std::uint64_t coveredAccesses(TrapLevel tl) const
+    {
+        return covered_[tl];
+    }
+    /** Total correct-path accesses observed at @p tl. */
+    std::uint64_t totalAccesses(TrapLevel tl) const { return total_[tl]; }
+
+    /** Coverage ratio at trap level @p tl. */
+    double
+    coverage(TrapLevel tl) const
+    {
+        return total_[tl] == 0
+            ? 0.0
+            : static_cast<double>(covered_[tl]) /
+              static_cast<double>(total_[tl]);
+    }
+
+    /** Overall coverage across trap levels. */
+    double coverage() const;
+
+    /** Regions recorded into history (all trap levels). */
+    std::uint64_t regionsRecorded() const;
+
+    /** SAB allocations performed. */
+    std::uint64_t sabAllocations() const { return sabAllocations_; }
+
+    /** Access the per-TL history (tests, studies). */
+    const HistoryBuffer &history(TrapLevel tl) const
+    {
+        return *chains_[chainFor(tl)].history;
+    }
+
+    /** Access the per-TL index table (tests). */
+    const IndexTable &index(TrapLevel tl) const
+    {
+        return *chains_[chainFor(tl)].index;
+    }
+
+  private:
+    /** Recording chain for one trap level. */
+    struct Chain
+    {
+        std::unique_ptr<SpatialCompactor> spatial;
+        std::unique_ptr<TemporalCompactor> temporal;
+        std::unique_ptr<HistoryBuffer> history;
+        std::unique_ptr<IndexTable> index;
+    };
+
+    /** Map a trap level to a chain slot. */
+    std::size_t
+    chainFor(TrapLevel tl) const
+    {
+        return (cfg_.separateTrapLevels && tl > 0) ? 1 : 0;
+    }
+
+    /** Route a completed spatial region down its chain. */
+    void recordRegion(Chain &chain, const SpatialRegion &rec);
+
+    /** Enqueue a prefetch candidate (dedup against the queue). */
+    void enqueue(Addr block);
+
+    PifConfig cfg_;
+    std::vector<Chain> chains_;
+    std::vector<StreamAddressBuffer> sabs_;
+    std::uint64_t sabTick_ = 0;
+
+    std::deque<Addr> queue_;
+    std::unordered_set<Addr> queued_;
+    std::vector<Addr> scratch_;  //!< SAB emission buffer
+
+    std::uint64_t covered_[maxTrapLevels] = {0, 0};
+    std::uint64_t total_[maxTrapLevels] = {0, 0};
+    std::uint64_t sabAllocations_ = 0;
+};
+
+} // namespace pifetch
+
+#endif // PIFETCH_PIF_PIF_PREFETCHER_HH

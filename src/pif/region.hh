@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Spatial region records (Section 4.1).
+ *
+ * A spatial region is a group of adjacent instruction blocks anchored
+ * at a trigger: the first instruction accessed within the region. The
+ * record stores the trigger PC plus a bit vector with one bit per
+ * neighbouring block — blocksBefore bits for blocks preceding the
+ * trigger block and blocksAfter bits for blocks succeeding it. The
+ * trigger block itself is implicit (always accessed).
+ */
+
+#ifndef PIFETCH_PIF_REGION_HH
+#define PIFETCH_PIF_REGION_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace pifetch {
+
+/**
+ * One spatial region record as stored in the history buffer.
+ *
+ * Bit i of @ref bits corresponds to block offset:
+ *   offset = (i < blocksBefore) ? i - blocksBefore : i - blocksBefore + 1
+ * i.e. bits [0, blocksBefore) cover offsets [-blocksBefore, -1] in
+ * ascending order and the remaining bits cover offsets [+1, ...].
+ * The geometry (blocksBefore/blocksAfter) is a property of the
+ * compactor configuration, not stored per record.
+ */
+struct SpatialRegion
+{
+    /** Trigger instruction PC (byte address). */
+    Addr triggerPc = invalidAddr;
+    /** Neighbour-block bit vector (see class comment). */
+    std::uint32_t bits = 0;
+    /** Trap level the region was recorded at. */
+    TrapLevel trapLevel = 0;
+    /**
+     * The trigger instruction was NOT delivered from an explicitly
+     * prefetched block (Section 4.2's tag); gates index insertion.
+     */
+    bool triggerTagged = true;
+
+    /** Block address of the trigger. */
+    Addr triggerBlock() const { return blockAddr(triggerPc); }
+
+    /** True if the record refers to no block other than the trigger. */
+    bool isTriggerOnly() const { return bits == 0; }
+
+    /** Number of neighbour blocks recorded (excludes the trigger). */
+    unsigned
+    popCount() const
+    {
+        return static_cast<unsigned>(__builtin_popcount(bits));
+    }
+
+    /**
+     * Bit index for signed block offset @p off (nonzero) given the
+     * region geometry.
+     */
+    static unsigned
+    bitIndex(int off, unsigned blocks_before)
+    {
+        return off < 0
+            ? static_cast<unsigned>(off + static_cast<int>(blocks_before))
+            : blocks_before + static_cast<unsigned>(off) - 1;
+    }
+
+    /** Signed block offset for bit index @p i given the geometry. */
+    static int
+    offsetOf(unsigned i, unsigned blocks_before)
+    {
+        return i < blocks_before
+            ? static_cast<int>(i) - static_cast<int>(blocks_before)
+            : static_cast<int>(i - blocks_before) + 1;
+    }
+
+    /** Set the bit for signed offset @p off. */
+    void
+    setOffset(int off, unsigned blocks_before)
+    {
+        bits |= std::uint32_t{1} << bitIndex(off, blocks_before);
+    }
+
+    /** Test the bit for signed offset @p off. */
+    bool
+    testOffset(int off, unsigned blocks_before) const
+    {
+        return bits & (std::uint32_t{1} << bitIndex(off, blocks_before));
+    }
+
+    /**
+     * True if @p other covers no blocks outside this record
+     * (same trigger PC and other.bits subset of bits) — the temporal
+     * compactor's match rule (Section 4.1).
+     */
+    bool
+    covers(const SpatialRegion &other) const
+    {
+        return triggerPc == other.triggerPc &&
+               (other.bits & ~bits) == 0;
+    }
+};
+
+} // namespace pifetch
+
+#endif // PIFETCH_PIF_REGION_HH

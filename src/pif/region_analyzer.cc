@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Region analyzer implementation.
+ */
+
+#include "pif/region_analyzer.hh"
+
+#include <bit>
+
+namespace pifetch {
+
+RegionAnalyzer::RegionAnalyzer(unsigned blocks_before,
+                               unsigned blocks_after)
+    : blocksBefore_(blocks_before),
+      blocksAfter_(blocks_after),
+      density_({1, 2, 4, 8, 16, 32}),
+      groups_({1, 2, 4, 8, 16}),
+      offsets_(-static_cast<int>(blocks_before),
+               static_cast<int>(blocks_after))
+{
+    if (blocks_before + blocks_after + 1 > 63)
+        fatalError("region analyzer window too wide");
+}
+
+void
+RegionAnalyzer::closeRegion()
+{
+    if (!active_)
+        return;
+    ++regions_;
+
+    // Density: unique accessed blocks including the trigger.
+    const unsigned density = static_cast<unsigned>(
+        std::popcount(mask_));
+    density_.add(density);
+
+    // Groups: contiguous runs of set bits across the window.
+    unsigned groups = 0;
+    bool in_run = false;
+    const unsigned width = blocksBefore_ + blocksAfter_ + 1;
+    for (unsigned i = 0; i < width; ++i) {
+        const bool set = mask_ & (std::uint64_t{1} << i);
+        if (set && !in_run)
+            ++groups;
+        in_run = set;
+    }
+    groups_.add(groups);
+
+    // Offsets: one sample per unique accessed block, excluding the
+    // trigger itself (Figure 8 left plots the neighbours).
+    for (unsigned i = 0; i < width; ++i) {
+        if (!(mask_ & (std::uint64_t{1} << i)))
+            continue;
+        const int off = static_cast<int>(i) -
+            static_cast<int>(blocksBefore_);
+        if (off != 0)
+            offsets_.add(off);
+    }
+}
+
+void
+RegionAnalyzer::observe(Addr pc)
+{
+    const Addr block = blockAddr(pc);
+    if (block == lastBlock_)
+        return;
+    lastBlock_ = block;
+
+    if (active_) {
+        const std::int64_t off = static_cast<std::int64_t>(block) -
+            static_cast<std::int64_t>(triggerBlock_);
+        if (off >= -static_cast<std::int64_t>(blocksBefore_) &&
+            off <= static_cast<std::int64_t>(blocksAfter_)) {
+            mask_ |= std::uint64_t{1}
+                << (off + static_cast<std::int64_t>(blocksBefore_));
+            return;
+        }
+    }
+
+    closeRegion();
+    active_ = true;
+    triggerBlock_ = block;
+    mask_ = std::uint64_t{1} << blocksBefore_;  // trigger bit
+}
+
+void
+RegionAnalyzer::finish()
+{
+    closeRegion();
+    active_ = false;
+    lastBlock_ = invalidAddr;
+}
+
+} // namespace pifetch

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Stream address buffer implementation.
+ */
+
+#include "pif/sab.hh"
+
+namespace pifetch {
+
+StreamAddressBuffer::StreamAddressBuffer(unsigned window_regions,
+                                         unsigned blocks_before)
+    : windowRegions_(window_regions), blocksBefore_(blocks_before)
+{
+}
+
+void
+StreamAddressBuffer::emitRegion(const SpatialRegion &rec,
+                                std::vector<Addr> &out)
+{
+    const Addr trigger = rec.triggerBlock();
+    // Left-to-right bit-vector traversal (Section 4.3): preceding
+    // blocks in ascending offset order, then the trigger, then the
+    // succeeding blocks.
+    for (unsigned i = 0; i < blocksBefore_; ++i) {
+        if (rec.bits & (std::uint32_t{1} << i)) {
+            const int off = SpatialRegion::offsetOf(i, blocksBefore_);
+            out.push_back(trigger + off);
+        }
+    }
+    out.push_back(trigger);
+    for (unsigned i = blocksBefore_; i < 32; ++i) {
+        if (rec.bits & (std::uint32_t{1} << i)) {
+            const int off = SpatialRegion::offsetOf(i, blocksBefore_);
+            out.push_back(trigger + off);
+        }
+    }
+}
+
+void
+StreamAddressBuffer::refill(std::vector<Addr> &out)
+{
+    while (window_.size() < windowRegions_ && hist_->valid(ptr_)) {
+        const SpatialRegion &rec = hist_->at(ptr_);
+        ++ptr_;
+        window_.push_back(rec);
+        emitRegion(rec, out);
+    }
+}
+
+void
+StreamAddressBuffer::allocate(const HistoryBuffer *hist, std::uint64_t seq,
+                              std::vector<Addr> &out)
+{
+    active_ = true;
+    hist_ = hist;
+    ptr_ = seq;
+    window_.clear();
+    advanced_ = 0;
+    refill(out);
+    if (window_.empty())
+        active_ = false;
+}
+
+bool
+StreamAddressBuffer::regionCovers(const SpatialRegion &rec,
+                                  Addr block) const
+{
+    const std::int64_t off = static_cast<std::int64_t>(block) -
+        static_cast<std::int64_t>(rec.triggerBlock());
+    if (off == 0)
+        return true;
+    if (off < -static_cast<std::int64_t>(blocksBefore_) ||
+        off > static_cast<std::int64_t>(31 - blocksBefore_)) {
+        return false;
+    }
+    return rec.testOffset(static_cast<int>(off), blocksBefore_);
+}
+
+bool
+StreamAddressBuffer::windowCovers(Addr block) const
+{
+    if (!active_)
+        return false;
+    for (const SpatialRegion &rec : window_) {
+        if (regionCovers(rec, block))
+            return true;
+    }
+    return false;
+}
+
+bool
+StreamAddressBuffer::onAccess(Addr block, std::vector<Addr> &out)
+{
+    if (!active_)
+        return false;
+
+    for (std::size_t i = 0; i < window_.size(); ++i) {
+        if (!regionCovers(window_[i], block))
+            continue;
+        // Matched region i: retire everything before it and slide the
+        // window forward, issuing prefetches for newly loaded records.
+        advanced_ += i;
+        window_.erase(window_.begin(),
+                      window_.begin() + static_cast<std::ptrdiff_t>(i));
+        refill(out);
+        return true;
+    }
+    return false;
+}
+
+} // namespace pifetch

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Stream address buffer (Section 4.3, Figure 6).
+ *
+ * A SAB tracks one active prediction stream: a window of consecutive
+ * spatial region records read from the history buffer. On allocation
+ * it issues prefetch candidates for every block encoded in the window;
+ * as the core's fetches march through the stream, the SAB advances its
+ * history pointer, loading further records and issuing their blocks.
+ */
+
+#ifndef PIFETCH_PIF_SAB_HH
+#define PIFETCH_PIF_SAB_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "pif/history_buffer.hh"
+#include "pif/region.hh"
+
+namespace pifetch {
+
+/**
+ * One stream address buffer. PIF maintains a small pool of these
+ * (paper: 4 SABs, 7-region window, LRU replacement).
+ */
+class StreamAddressBuffer
+{
+  public:
+    /**
+     * @param window_regions Consecutive regions tracked (paper: 7).
+     * @param blocks_before Region geometry (compactor's N).
+     */
+    StreamAddressBuffer(unsigned window_regions, unsigned blocks_before);
+
+    /**
+     * (Re)allocate this SAB at history position @p seq.
+     *
+     * Loads the initial window and appends the prefetch candidate
+     * blocks of every loaded region to @p out in bit-vector order
+     * (preceding blocks, trigger, succeeding blocks).
+     *
+     * @param hist The history buffer this stream replays.
+     */
+    void allocate(const HistoryBuffer *hist, std::uint64_t seq,
+                  std::vector<Addr> &out);
+
+    /**
+     * Monitor an L1-I fetch of @p block.
+     *
+     * If the block falls within the window, the SAB advances: regions
+     * preceding the matched one are retired, subsequent records are
+     * read from the history buffer, and their blocks are appended to
+     * @p out as new prefetch candidates.
+     *
+     * @return true if the access matched this stream.
+     */
+    bool onAccess(Addr block, std::vector<Addr> &out);
+
+    /** True while the SAB has a live window. */
+    bool active() const { return active_; }
+
+    /** LRU tick of the last match or allocation. */
+    std::uint64_t lastUse() const { return lastUse_; }
+
+    /** Bump the LRU tick (pool maintains the clock). */
+    void touch(std::uint64_t tick) { lastUse_ = tick; }
+
+    /** Regions streamed through this SAB since allocation. */
+    std::uint64_t advanced() const { return advanced_; }
+
+    /** True if @p block is covered by any region in the window. */
+    bool windowCovers(Addr block) const;
+
+    /** Deactivate (end of stream). */
+    void deactivate() { active_ = false; window_.clear(); }
+
+  private:
+    /** Append the blocks of @p rec to @p out (left-to-right order). */
+    void emitRegion(const SpatialRegion &rec, std::vector<Addr> &out);
+
+    /** Load records from history until the window is full. */
+    void refill(std::vector<Addr> &out);
+
+    /** True if @p rec covers @p block (trigger or set neighbour bit). */
+    bool regionCovers(const SpatialRegion &rec, Addr block) const;
+
+    unsigned windowRegions_;
+    unsigned blocksBefore_;
+
+    bool active_ = false;
+    const HistoryBuffer *hist_ = nullptr;
+    std::uint64_t ptr_ = 0;  //!< next history sequence to load
+    std::deque<SpatialRegion> window_;
+    std::uint64_t lastUse_ = 0;
+    std::uint64_t advanced_ = 0;
+};
+
+} // namespace pifetch
+
+#endif // PIFETCH_PIF_SAB_HH

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Shared-storage PIF implementation.
+ */
+
+#include "pif/shared_pif.hh"
+
+#include <algorithm>
+
+namespace pifetch {
+
+namespace {
+constexpr std::size_t prefetchQueueCap = 256;
+} // namespace
+
+SharedPifStorage::SharedPifStorage(const PifConfig &cfg)
+    : cfg_(cfg)
+{
+    const unsigned num_chains = cfg_.separateTrapLevels ? 2 : 1;
+    for (unsigned c = 0; c < num_chains; ++c) {
+        Chain chain;
+        std::uint64_t hist_cap = cfg_.historyRegions;
+        unsigned index_entries = cfg_.indexEntries;
+        if (num_chains == 2) {
+            hist_cap = (c == 0) ? cfg_.historyRegions * 7 / 8
+                                : cfg_.historyRegions / 8;
+            index_entries = (c == 0) ? cfg_.indexEntries * 7 / 8
+                                     : cfg_.indexEntries / 8;
+            index_entries =
+                std::max(index_entries, cfg_.indexAssoc * 2);
+            unsigned sets = index_entries / cfg_.indexAssoc;
+            while (sets & (sets - 1))
+                --sets;
+            index_entries = sets * cfg_.indexAssoc;
+        }
+        chain.history = std::make_unique<HistoryBuffer>(hist_cap);
+        chain.index = std::make_unique<IndexTable>(index_entries,
+                                                   cfg_.indexAssoc);
+        chains_.push_back(std::move(chain));
+    }
+}
+
+SharedPifStorage::Chain &
+SharedPifStorage::chainFor(TrapLevel tl)
+{
+    return chains_[(cfg_.separateTrapLevels && tl > 0) ? 1 : 0];
+}
+
+std::uint64_t
+SharedPifStorage::regionsRecorded() const
+{
+    std::uint64_t n = 0;
+    for (const Chain &c : chains_)
+        n += c.history->appended();
+    return n;
+}
+
+SharedPifPrefetcher::SharedPifPrefetcher(
+        std::shared_ptr<SharedPifStorage> storage)
+    : storage_(std::move(storage))
+{
+    const PifConfig &cfg = storage_->config();
+    const unsigned num_chains = cfg.separateTrapLevels ? 2 : 1;
+    for (unsigned c = 0; c < num_chains; ++c) {
+        LocalChain lc;
+        lc.spatial = std::make_unique<SpatialCompactor>(cfg);
+        lc.temporal =
+            std::make_unique<TemporalCompactor>(cfg.temporalEntries);
+        locals_.push_back(std::move(lc));
+    }
+    for (unsigned s = 0; s < cfg.numSabs; ++s)
+        sabs_.emplace_back(cfg.sabWindowRegions, cfg.blocksBefore);
+}
+
+void
+SharedPifPrefetcher::enqueue(Addr block)
+{
+    if (queued_.count(block) || queue_.size() >= prefetchQueueCap)
+        return;
+    queue_.push_back(block);
+    queued_.insert(block);
+    ++issued_;
+}
+
+void
+SharedPifPrefetcher::onRetire(const RetiredInstr &instr, bool tagged)
+{
+    LocalChain &local = locals_[chainSlot(instr.trapLevel)];
+    auto done = local.spatial->observe(instr.pc, tagged,
+                                       instr.trapLevel);
+    if (!done)
+        return;
+    if (!local.temporal->admit(*done))
+        return;
+    SharedPifStorage::Chain &chain =
+        storage_->chainFor(instr.trapLevel);
+    const std::uint64_t seq = chain.history->append(*done);
+    if (done->triggerTagged)
+        chain.index->insert(done->triggerPc, seq);
+}
+
+void
+SharedPifPrefetcher::onFetchAccess(const FetchInfo &info)
+{
+    scratch_.clear();
+    bool in_stream = false;
+    for (StreamAddressBuffer &sab : sabs_) {
+        if (sab.onAccess(info.block, scratch_)) {
+            in_stream = true;
+            sab.touch(++sabTick_);
+        }
+    }
+
+    if (info.correctPath) {
+        ++total_;
+        if ((info.hit && info.wasPrefetched) || in_stream ||
+            queued_.count(info.block) != 0) {
+            ++covered_;
+        }
+    }
+
+    if (!(info.hit && info.wasPrefetched) && !in_stream) {
+        SharedPifStorage::Chain &chain =
+            storage_->chainFor(info.trapLevel);
+        if (auto seq = chain.index->lookup(info.pc)) {
+            if (chain.history->valid(*seq)) {
+                StreamAddressBuffer *victim = &sabs_[0];
+                for (StreamAddressBuffer &sab : sabs_) {
+                    if (!sab.active()) {
+                        victim = &sab;
+                        break;
+                    }
+                    if (sab.lastUse() < victim->lastUse())
+                        victim = &sab;
+                }
+                victim->allocate(chain.history.get(), *seq, scratch_);
+                victim->touch(++sabTick_);
+                ++sabAllocations_;
+            }
+        }
+    }
+
+    for (Addr b : scratch_)
+        enqueue(b);
+}
+
+unsigned
+SharedPifPrefetcher::drainRequests(std::vector<Addr> &out, unsigned max)
+{
+    unsigned n = 0;
+    while (n < max && !queue_.empty()) {
+        const Addr b = queue_.front();
+        queue_.pop_front();
+        queued_.erase(b);
+        out.push_back(b);
+        ++n;
+    }
+    return n;
+}
+
+double
+SharedPifPrefetcher::coverage() const
+{
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(covered_) /
+                         static_cast<double>(total_);
+}
+
+void
+SharedPifPrefetcher::resetStats()
+{
+    Prefetcher::resetStats();
+    covered_ = 0;
+    total_ = 0;
+    sabAllocations_ = 0;
+}
+
+void
+SharedPifPrefetcher::reset()
+{
+    // Shared storage is owned jointly and not cleared here; reset the
+    // per-core state only.
+    for (LocalChain &lc : locals_) {
+        lc.spatial->reset();
+        lc.temporal->reset();
+    }
+    for (StreamAddressBuffer &sab : sabs_)
+        sab.deactivate();
+    sabTick_ = 0;
+    queue_.clear();
+    queued_.clear();
+    resetStats();
+    issued_ = 0;
+}
+
+} // namespace pifetch

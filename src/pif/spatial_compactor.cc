@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Spatial compactor implementation.
+ */
+
+#include "pif/spatial_compactor.hh"
+
+namespace pifetch {
+
+SpatialCompactor::SpatialCompactor(unsigned blocks_before,
+                                   unsigned blocks_after)
+    : blocksBefore_(blocks_before), blocksAfter_(blocks_after)
+{
+    if (blocksBefore_ + blocksAfter_ >= 32)
+        fatalError("spatial region too large for the 32-bit vector");
+}
+
+std::optional<SpatialRegion>
+SpatialCompactor::observe(Addr pc, bool tagged, TrapLevel tl)
+{
+    ++observedPcs_;
+
+    const Addr block = blockAddr(pc);
+    // Collapse consecutive retired PCs within the same block: the
+    // history predicts block addresses, not instruction addresses.
+    if (block == lastBlock_)
+        return std::nullopt;
+    lastBlock_ = block;
+    ++blockAccesses_;
+
+    if (active_) {
+        const std::int64_t off = static_cast<std::int64_t>(block) -
+            static_cast<std::int64_t>(current_.triggerBlock());
+        const bool inside =
+            off >= -static_cast<std::int64_t>(blocksBefore_) &&
+            off <= static_cast<std::int64_t>(blocksAfter_);
+        if (inside) {
+            if (off != 0)
+                current_.setOffset(static_cast<int>(off), blocksBefore_);
+            return std::nullopt;
+        }
+    }
+
+    // Outside the current region (or no region yet): emit and restart.
+    std::optional<SpatialRegion> done;
+    if (active_) {
+        done = current_;
+        ++regionsEmitted_;
+    }
+    current_ = SpatialRegion{};
+    current_.triggerPc = pc;
+    current_.trapLevel = tl;
+    current_.triggerTagged = tagged;
+    active_ = true;
+    return done;
+}
+
+std::optional<SpatialRegion>
+SpatialCompactor::flush()
+{
+    if (!active_)
+        return std::nullopt;
+    active_ = false;
+    lastBlock_ = invalidAddr;
+    ++regionsEmitted_;
+    return current_;
+}
+
+void
+SpatialCompactor::reset()
+{
+    active_ = false;
+    current_ = SpatialRegion{};
+    lastBlock_ = invalidAddr;
+    observedPcs_ = 0;
+    blockAccesses_ = 0;
+    regionsEmitted_ = 0;
+}
+
+} // namespace pifetch

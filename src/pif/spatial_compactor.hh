@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Spatial compactor (Section 4.1, Figure 5 left).
+ *
+ * Monitors retiring instructions, collapses consecutive same-block PCs,
+ * and folds block accesses that fall within the current spatial region
+ * into its bit vector. When a retiring instruction falls outside the
+ * current region, the completed record is emitted downstream (to the
+ * temporal compactor) and a new region is opened with the new
+ * instruction as trigger.
+ */
+
+#ifndef PIFETCH_PIF_SPATIAL_COMPACTOR_HH
+#define PIFETCH_PIF_SPATIAL_COMPACTOR_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "common/config.hh"
+#include "pif/region.hh"
+
+namespace pifetch {
+
+/**
+ * Builds spatial region records from the retire-order PC stream.
+ *
+ * One instance per recorded stream (PIF keeps one per trap level when
+ * trap separation is enabled).
+ */
+class SpatialCompactor
+{
+  public:
+    /**
+     * @param blocks_before Region blocks preceding the trigger (N).
+     * @param blocks_after Region blocks succeeding the trigger (M).
+     */
+    SpatialCompactor(unsigned blocks_before, unsigned blocks_after);
+
+    /** Construct from the PIF configuration. */
+    explicit SpatialCompactor(const PifConfig &cfg)
+        : SpatialCompactor(cfg.blocksBefore, cfg.blocksAfter)
+    {
+    }
+
+    /**
+     * Observe a retiring instruction.
+     *
+     * @param pc Retired instruction PC.
+     * @param tagged Fetch-stage tag (not explicitly prefetched).
+     * @param tl Trap level at retirement.
+     * @return the completed previous region record, if this instruction
+     *         closed one.
+     */
+    std::optional<SpatialRegion> observe(Addr pc, bool tagged,
+                                         TrapLevel tl);
+
+    /** Flush the in-progress region (end of trace). */
+    std::optional<SpatialRegion> flush();
+
+    unsigned blocksBefore() const { return blocksBefore_; }
+    unsigned blocksAfter() const { return blocksAfter_; }
+
+    /** Retired PCs observed (before block collapsing). */
+    std::uint64_t observedPcs() const { return observedPcs_; }
+    /** Block-granularity accesses after collapsing. */
+    std::uint64_t blockAccesses() const { return blockAccesses_; }
+    /** Region records emitted. */
+    std::uint64_t regionsEmitted() const { return regionsEmitted_; }
+
+    /** Reset all state. */
+    void reset();
+
+  private:
+    unsigned blocksBefore_;
+    unsigned blocksAfter_;
+
+    bool active_ = false;
+    SpatialRegion current_;
+    Addr lastBlock_ = invalidAddr;  //!< same-block collapse filter
+
+    std::uint64_t observedPcs_ = 0;
+    std::uint64_t blockAccesses_ = 0;
+    std::uint64_t regionsEmitted_ = 0;
+};
+
+} // namespace pifetch
+
+#endif // PIFETCH_PIF_SPATIAL_COMPACTOR_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Storage-cost model implementation.
+ */
+
+#include "pif/storage.hh"
+
+#include <bit>
+
+namespace pifetch {
+
+namespace {
+
+/** Ceil(log2(n)) for pointer widths. */
+unsigned
+bitsFor(std::uint64_t n)
+{
+    if (n <= 1)
+        return 1;
+    return 64 - static_cast<unsigned>(std::countl_zero(n - 1));
+}
+
+} // namespace
+
+std::uint64_t
+regionRecordBits(const PifConfig &cfg, unsigned pc_bits)
+{
+    // Trigger PC + neighbour bit vector + fetch-stage tag bit.
+    return pc_bits + (cfg.blocksBefore + cfg.blocksAfter) + 1;
+}
+
+PifStorage
+computePifStorage(const PifConfig &cfg, unsigned pc_bits)
+{
+    PifStorage s;
+    const std::uint64_t record = regionRecordBits(cfg, pc_bits);
+
+    // History buffer: one record per region slot (trap-level split
+    // does not change the total).
+    s.historyBits = cfg.historyRegions * record;
+
+    // Index table: tag (full PC, conservatively) + history pointer +
+    // valid + per-entry LRU state.
+    const unsigned ptr = bitsFor(cfg.historyRegions);
+    const unsigned lru = bitsFor(cfg.indexAssoc);
+    s.indexBits = static_cast<std::uint64_t>(cfg.indexEntries) *
+                  (pc_bits + ptr + 1 + lru);
+
+    // SABs: a window of region records plus the history pointer.
+    s.sabBits = static_cast<std::uint64_t>(cfg.numSabs) *
+                (cfg.sabWindowRegions * record + ptr);
+
+    // Compactors: one in-flight region per trap level chain plus the
+    // temporal compactor's MRU records.
+    const unsigned chains = cfg.separateTrapLevels ? 2 : 1;
+    s.compactorBits = chains * (record + cfg.temporalEntries * record);
+
+    return s;
+}
+
+std::uint64_t
+tifsStorageBits(const TifsConfig &cfg, unsigned block_bits)
+{
+    const std::uint64_t history = cfg.historyEntries * block_bits;
+    const unsigned ptr = bitsFor(cfg.historyEntries);
+    const unsigned lru = bitsFor(cfg.indexAssoc);
+    const std::uint64_t index =
+        static_cast<std::uint64_t>(cfg.indexEntries) *
+        (block_bits + ptr + 1 + lru);
+    const std::uint64_t sabs = static_cast<std::uint64_t>(cfg.numSabs) *
+                               (cfg.sabWindowBlocks * block_bits + ptr);
+    return history + index + sabs;
+}
+
+} // namespace pifetch

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Aggressive next-line instruction prefetcher (Figure 10 baseline).
+ *
+ * On every demand fetch, enqueues the next `degree` sequential blocks.
+ * Captures spatially contiguous accesses but none of the discontinuous
+ * control transfers, and over-fetches past the end of each accessed
+ * region (Section 6).
+ */
+
+#ifndef PIFETCH_PREFETCH_NEXT_LINE_HH
+#define PIFETCH_PREFETCH_NEXT_LINE_HH
+
+#include <deque>
+#include <unordered_set>
+
+#include "common/config.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace pifetch {
+
+/**
+ * Next-N-line prefetcher triggered by every fetch access.
+ */
+class NextLinePrefetcher : public Prefetcher
+{
+  public:
+    explicit NextLinePrefetcher(const NextLineConfig &cfg);
+
+    std::string name() const override { return "Next-Line"; }
+
+    void onFetchAccess(const FetchInfo &info) override;
+    unsigned drainRequests(std::vector<Addr> &out, unsigned max) override;
+    void reset() override;
+
+  private:
+    unsigned degree_;
+    Addr lastBlock_ = invalidAddr;
+    std::deque<Addr> queue_;
+    std::unordered_set<Addr> queued_;
+};
+
+} // namespace pifetch
+
+#endif // PIFETCH_PREFETCH_NEXT_LINE_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Cycle engine implementation.
+ */
+
+#include "sim/cycle_engine.hh"
+
+namespace pifetch {
+
+namespace {
+/** Prefetch candidates considered per instruction step. */
+constexpr unsigned drainPerStep = 4;
+} // namespace
+
+CycleEngine::CycleEngine(const SystemConfig &cfg, const Program &prog,
+                         const ExecutorConfig &exec_cfg,
+                         PrefetcherKind kind)
+    : cfg_(cfg),
+      kind_(kind),
+      exec_(prog, exec_cfg),
+      l1i_(cfg.l1i, ReplacementKind::LRU, cfg.seed),
+      frontend_(cfg, l1i_, cfg.seed ^ 0xfe7c4),
+      hierarchy_(cfg.memory),
+      prefetcher_(makePrefetcher(kind, cfg)),
+      timing_(cfg.core, cfg.seed ^ 0x7131)
+{
+    events_.reserve(64);
+    drain_.reserve(drainPerStep);
+    pending_.reserve(cfg.l1i.mshrs * 2);
+}
+
+void
+CycleEngine::processReadyFills()
+{
+    const Cycle now = timing_.cycles();
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->second <= now) {
+            l1i_.fill(it->first, true);
+            ++prefetchFills_;
+            it = pending_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+CycleEngine::stepOne(bool measuring)
+{
+    processReadyFills();
+
+    const RetiredInstr instr = exec_.next();
+    events_.clear();
+    const bool tagged = frontend_.step(instr, events_);
+
+    const bool perfect = kind_ == PrefetcherKind::Perfect;
+
+    for (const FetchAccess &ev : events_) {
+        if (ev.correctPath && !ev.hit && !perfect) {
+            // Demand miss: the front-end already performed the
+            // functional fill; charge the timing.
+            auto it = pending_.find(ev.block);
+            Cycle stall;
+            if (it != pending_.end()) {
+                // Late prefetch: wait only the residual latency.
+                const Cycle now = timing_.cycles();
+                stall = it->second > now ? it->second - now : 0;
+                pending_.erase(it);
+                if (measuring)
+                    ++latePrefetches_;
+            } else {
+                stall = hierarchy_.request(ev.block);
+            }
+            timing_.fetchStall(stall);
+            if (measuring)
+                ++demandMisses_;
+        }
+
+        FetchInfo info;
+        info.block = ev.block;
+        info.pc = ev.correctPath ? instr.pc : blockBase(ev.block);
+        info.hit = ev.hit;
+        info.wasPrefetched = ev.wasPrefetched;
+        info.correctPath = ev.correctPath;
+        info.trapLevel = ev.trapLevel;
+        prefetcher_->onFetchAccess(info);
+    }
+
+    // Branch misprediction penalty: one per mispredict this step.
+    const std::uint64_t misp = frontend_.mispredicts();
+    for (std::uint64_t m = lastMispredicts_; m < misp; ++m)
+        timing_.mispredict();
+    lastMispredicts_ = misp;
+
+    prefetcher_->onRetire(instr, tagged);
+    timing_.instruction(instr.trapLevel);
+
+    // Issue prefetches into the hierarchy, MSHR-limited.
+    drain_.clear();
+    prefetcher_->drainRequests(drain_, drainPerStep);
+    for (Addr b : drain_) {
+        if (l1i_.probe(b) || pending_.count(b))
+            continue;
+        if (pending_.size() >= cfg_.l1i.mshrs)
+            break;  // MSHRs full: drop (back-pressure)
+        const Cycle lat = hierarchy_.request(b);
+        pending_.emplace(b, timing_.cycles() + lat);
+    }
+}
+
+CycleRunResult
+CycleEngine::run(InstCount warmup, InstCount measure)
+{
+    for (InstCount i = 0; i < warmup; ++i)
+        stepOne(false);
+
+    // resetStats() rewinds the cycle clock to zero; rebase in-flight
+    // fill completion times so stale absolute cycles cannot charge
+    // enormous residual stalls in the measurement window.
+    const Cycle t0 = timing_.cycles();
+    for (auto &entry : pending_)
+        entry.second = entry.second > t0 ? entry.second - t0 : 0;
+
+    timing_.resetStats();
+    prefetcher_->resetStats();
+    demandMisses_ = 0;
+    latePrefetches_ = 0;
+    prefetchFills_ = 0;
+    const std::uint64_t l2h0 = hierarchy_.l2Hits();
+    const std::uint64_t l2m0 = hierarchy_.l2Misses();
+
+    for (InstCount i = 0; i < measure; ++i)
+        stepOne(true);
+
+    CycleRunResult res;
+    res.cycles = timing_.cycles();
+    res.instrs = timing_.instructions();
+    res.userInstrs = timing_.userInstructions();
+    res.uipc = timing_.uipc();
+    res.fetchStallCycles = timing_.fetchStallCycles();
+    res.branchPenaltyCycles = timing_.branchPenaltyCycles();
+    res.demandMisses = demandMisses_;
+    res.latePrefetches = latePrefetches_;
+    res.prefetchFills = prefetchFills_;
+    res.l2Hits = hierarchy_.l2Hits() - l2h0;
+    res.l2Misses = hierarchy_.l2Misses() - l2m0;
+    return res;
+}
+
+} // namespace pifetch

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Cycle-level simulation engine (Figure 10 right).
+ *
+ * Adds timing to the functional pipeline: demand misses stall the core
+ * for the L2/memory fill latency, prefetches occupy MSHRs and complete
+ * after their fill latency (late prefetches expose the residual), and
+ * mispredictions charge the resolution penalty. A Perfect
+ * configuration services every fetch at hit latency (Section 5.6's
+ * perfect-latency cache).
+ */
+
+#ifndef PIFETCH_SIM_CYCLE_ENGINE_HH
+#define PIFETCH_SIM_CYCLE_ENGINE_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+#include "cache/mshr.hh"
+#include "common/config.hh"
+#include "core/cycle_core.hh"
+#include "core/frontend.hh"
+#include "sim/system_config.hh"
+#include "trace/executor.hh"
+#include "trace/program.hh"
+
+namespace pifetch {
+
+/** Results of one timed run (measurement window only). */
+struct CycleRunResult
+{
+    Cycle cycles = 0;
+    InstCount instrs = 0;
+    InstCount userInstrs = 0;
+    double uipc = 0.0;
+    Cycle fetchStallCycles = 0;
+    Cycle branchPenaltyCycles = 0;
+    std::uint64_t demandMisses = 0;
+    std::uint64_t latePrefetches = 0;  //!< demand caught an in-flight fill
+    std::uint64_t prefetchFills = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t l2Misses = 0;
+};
+
+/**
+ * Timed engine: executor -> front-end -> L1-I/L2 -> prefetcher with
+ * MSHR-limited, latency-delayed prefetch fills.
+ */
+class CycleEngine
+{
+  public:
+    CycleEngine(const SystemConfig &cfg, const Program &prog,
+                const ExecutorConfig &exec_cfg, PrefetcherKind kind);
+
+    /** Warm up, then measure. */
+    CycleRunResult run(InstCount warmup, InstCount measure);
+
+    TimingModel &timing() { return timing_; }
+    Cache &l1i() { return l1i_; }
+    MemoryHierarchy &hierarchy() { return hierarchy_; }
+
+  private:
+    void stepOne(bool measuring);
+
+    /** Install prefetch fills whose latency has elapsed. */
+    void processReadyFills();
+
+    SystemConfig cfg_;
+    PrefetcherKind kind_;
+    Executor exec_;
+    Cache l1i_;
+    Frontend frontend_;
+    MemoryHierarchy hierarchy_;
+    std::unique_ptr<Prefetcher> prefetcher_;
+    TimingModel timing_;
+
+    /** In-flight prefetch fills: block -> completion cycle. */
+    std::unordered_map<Addr, Cycle> pending_;
+
+    std::vector<FetchAccess> events_;
+    std::vector<Addr> drain_;
+
+    std::uint64_t demandMisses_ = 0;
+    std::uint64_t latePrefetches_ = 0;
+    std::uint64_t prefetchFills_ = 0;
+    std::uint64_t lastMispredicts_ = 0;
+};
+
+} // namespace pifetch
+
+#endif // PIFETCH_SIM_CYCLE_ENGINE_HH

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Experiment driver implementations.
+ */
+
+#include "sim/experiment.hh"
+
+#include "pif/pif_prefetcher.hh"
+#include "pif/region_analyzer.hh"
+#include "pif/spatial_compactor.hh"
+#include "pif/temporal_compactor.hh"
+#include "sim/cycle_engine.hh"
+#include "sim/workloads.hh"
+#include "streams/jump_distance.hh"
+#include "streams/stream_length.hh"
+#include "streams/temporal_predictor.hh"
+
+namespace pifetch {
+
+namespace {
+
+/** Unbounded study predictor sizing (Figures 2, 7, 9 left). */
+TemporalPredictorConfig
+studyPredictorConfig()
+{
+    TemporalPredictorConfig c;
+    c.historyCapacity = 0;
+    c.indexEntries = 0;
+    c.numStreams = 4;
+    c.window = 16;
+    return c;
+}
+
+} // namespace
+
+Fig2Result
+runFig2(ServerWorkload w, const ExperimentBudget &budget,
+        const SystemConfig &cfg)
+{
+    const Program prog = buildWorkloadProgram(w);
+    Executor exec(prog, executorConfigFor(w));
+    Cache l1i(cfg.l1i, ReplacementKind::LRU, cfg.seed);
+    Frontend frontend(cfg, l1i, cfg.seed ^ 0xfe7c4);
+
+    TemporalStreamPredictor miss_pred(studyPredictorConfig());
+    TemporalStreamPredictor access_pred(studyPredictorConfig());
+    TemporalStreamPredictor retire_pred(studyPredictorConfig());
+    TemporalStreamPredictor retire_sep[maxTrapLevels] = {
+        TemporalStreamPredictor(studyPredictorConfig()),
+        TemporalStreamPredictor(studyPredictorConfig()),
+    };
+
+    Addr last_retire_block = invalidAddr;
+    Addr last_sep_block[maxTrapLevels] = {invalidAddr, invalidAddr};
+
+    std::uint64_t total_misses = 0;
+    std::uint64_t cov_miss = 0;
+    std::uint64_t cov_access = 0;
+    std::uint64_t cov_retire = 0;
+    std::uint64_t cov_sep = 0;
+
+    std::vector<FetchAccess> events;
+    events.reserve(64);
+
+    const InstCount total = budget.warmup + budget.measure;
+    for (InstCount i = 0; i < total; ++i) {
+        const bool measuring = i >= budget.warmup;
+        const RetiredInstr instr = exec.next();
+        events.clear();
+        frontend.step(instr, events);
+
+        for (const FetchAccess &ev : events) {
+            const bool is_cp_miss = ev.correctPath && !ev.hit;
+            if (is_cp_miss && measuring) {
+                ++total_misses;
+                // Coverage queries *before* this event's observations:
+                // "would a prefetcher following stream X have already
+                // predicted this block?"
+                if (miss_pred.covered(ev.block))
+                    ++cov_miss;
+                if (access_pred.covered(ev.block))
+                    ++cov_access;
+                if (retire_pred.covered(ev.block))
+                    ++cov_retire;
+                const TrapLevel tl =
+                    std::min<TrapLevel>(ev.trapLevel, maxTrapLevels - 1);
+                if (retire_sep[tl].covered(ev.block))
+                    ++cov_sep;
+            }
+            // Observation streams: access sees everything the front-end
+            // fetches (wrong path included); miss sees every L1-I miss.
+            access_pred.observe(ev.block);
+            if (!ev.hit)
+                miss_pred.observe(ev.block);
+        }
+
+        // Retire-order streams (block-collapsed).
+        const Addr rblock = blockAddr(instr.pc);
+        if (rblock != last_retire_block) {
+            last_retire_block = rblock;
+            retire_pred.observe(rblock);
+        }
+        const TrapLevel tl =
+            std::min<TrapLevel>(instr.trapLevel, maxTrapLevels - 1);
+        if (rblock != last_sep_block[tl]) {
+            last_sep_block[tl] = rblock;
+            retire_sep[tl].observe(rblock);
+        }
+    }
+
+    Fig2Result res;
+    res.workload = w;
+    res.correctPathMisses = total_misses;
+    const double denom =
+        total_misses > 0 ? static_cast<double>(total_misses) : 1.0;
+    res.missCoverage = static_cast<double>(cov_miss) / denom;
+    res.accessCoverage = static_cast<double>(cov_access) / denom;
+    res.retireCoverage = static_cast<double>(cov_retire) / denom;
+    res.retireSepCoverage = static_cast<double>(cov_sep) / denom;
+    return res;
+}
+
+Fig3Result
+runFig3(ServerWorkload w, InstCount instrs)
+{
+    const Program prog = buildWorkloadProgram(w);
+    Executor exec(prog, executorConfigFor(w));
+    // Wide window so the density distribution itself reveals the
+    // useful geometry (up to 32 blocks as in the paper's buckets).
+    RegionAnalyzer analyzer(4, 27);
+
+    for (InstCount i = 0; i < instrs; ++i)
+        analyzer.observe(exec.next().pc);
+    analyzer.finish();
+
+    Fig3Result res;
+    res.workload = w;
+    res.density = analyzer.density();
+    res.groups = analyzer.groups();
+    res.regions = analyzer.regions();
+    return res;
+}
+
+Log2Histogram
+runFig7(ServerWorkload w, InstCount instrs)
+{
+    const Program prog = buildWorkloadProgram(w);
+    Executor exec(prog, executorConfigFor(w));
+    JumpDistanceStudy study;
+
+    Addr last_block = invalidAddr;
+    for (InstCount i = 0; i < instrs; ++i) {
+        const RetiredInstr instr = exec.next();
+        if (instr.trapLevel != 0)
+            continue;  // application stream, as in Section 5.1
+        const Addr b = blockAddr(instr.pc);
+        if (b != last_block) {
+            last_block = b;
+            study.observe(b);
+        }
+    }
+    study.finish();
+    return study.histogram();
+}
+
+LinearHistogram
+runFig8Left(ServerWorkload w, InstCount instrs)
+{
+    const Program prog = buildWorkloadProgram(w);
+    Executor exec(prog, executorConfigFor(w));
+    RegionAnalyzer analyzer(4, 12);  // the figure's -4..+12 window
+
+    for (InstCount i = 0; i < instrs; ++i)
+        analyzer.observe(exec.next().pc);
+    analyzer.finish();
+    return analyzer.offsets();
+}
+
+std::vector<Fig8RightPoint>
+runFig8Right(ServerWorkload w, const ExperimentBudget &budget,
+             const SystemConfig &cfg)
+{
+    // Region size -> (blocks before, blocks after) skewed toward
+    // succeeding blocks per Section 5.2.
+    struct Geometry { unsigned total, before, after; };
+    static const Geometry geometries[] = {
+        {1, 0, 0}, {2, 0, 1}, {4, 1, 2}, {6, 2, 3}, {8, 2, 5},
+    };
+
+    const Program prog = buildWorkloadProgram(w);
+    std::vector<Fig8RightPoint> out;
+    for (const Geometry &g : geometries) {
+        SystemConfig c = cfg;
+        c.pif.blocksBefore = g.before;
+        c.pif.blocksAfter = g.after;
+        auto pif = std::make_unique<PifPrefetcher>(c.pif, false);
+        PifPrefetcher *pif_raw = pif.get();
+        TraceEngine engine(c, prog, executorConfigFor(w),
+                           std::move(pif));
+        engine.run(budget.warmup, budget.measure);
+
+        Fig8RightPoint p;
+        p.regionBlocks = g.total;
+        p.tl0Coverage = pif_raw->coverage(0);
+        p.tl1Coverage = pif_raw->coverage(1);
+        out.push_back(p);
+    }
+    return out;
+}
+
+Log2Histogram
+runFig9Left(ServerWorkload w, InstCount instrs)
+{
+    const Program prog = buildWorkloadProgram(w);
+    Executor exec(prog, executorConfigFor(w));
+
+    // Compact the retire stream into spatial regions first: stream
+    // lengths are measured in regions, matching the figure's axis.
+    SpatialCompactor spatial(2, 5);
+    TemporalCompactor temporal(4);
+    StreamLengthStudy study;
+
+    for (InstCount i = 0; i < instrs; ++i) {
+        const RetiredInstr instr = exec.next();
+        if (auto rec = spatial.observe(instr.pc, true, instr.trapLevel)) {
+            if (temporal.admit(*rec))
+                study.observe(rec->triggerPc);
+        }
+    }
+    study.finish();
+    return study.histogram();
+}
+
+std::vector<Fig9RightPoint>
+runFig9Right(ServerWorkload w, const ExperimentBudget &budget,
+             const std::vector<std::uint64_t> &sizes,
+             const SystemConfig &cfg)
+{
+    const Program prog = buildWorkloadProgram(w);
+    std::vector<Fig9RightPoint> out;
+    for (std::uint64_t regions : sizes) {
+        SystemConfig c = cfg;
+        c.pif.historyRegions = regions;
+        auto pif = std::make_unique<PifPrefetcher>(c.pif, false);
+        PifPrefetcher *pif_raw = pif.get();
+        TraceEngine engine(c, prog, executorConfigFor(w),
+                           std::move(pif));
+        engine.run(budget.warmup, budget.measure);
+
+        Fig9RightPoint p;
+        p.historyRegions = regions;
+        p.coverage = pif_raw->coverage();
+        out.push_back(p);
+    }
+    return out;
+}
+
+std::vector<Fig10CoveragePoint>
+runFig10Coverage(ServerWorkload w, const ExperimentBudget &budget,
+                 const SystemConfig &cfg)
+{
+    const Program prog = buildWorkloadProgram(w);
+
+    // Baseline: no prefetching defines the miss population.
+    std::uint64_t baseline_misses = 0;
+    {
+        TraceEngine engine(cfg, prog, executorConfigFor(w),
+                           std::make_unique<NullPrefetcher>());
+        baseline_misses =
+            engine.run(budget.warmup, budget.measure).misses;
+    }
+
+    const PrefetcherKind kinds[] = {
+        PrefetcherKind::NextLine,
+        PrefetcherKind::Tifs,
+        PrefetcherKind::Pif,
+    };
+
+    std::vector<Fig10CoveragePoint> out;
+    for (PrefetcherKind kind : kinds) {
+        // Section 5.5 compares without storage limitations.
+        TraceEngine engine(cfg, prog, executorConfigFor(w),
+                           makePrefetcher(kind, cfg, true));
+        const TraceRunResult r = engine.run(budget.warmup,
+                                            budget.measure);
+        Fig10CoveragePoint p;
+        p.kind = kind;
+        p.baselineMisses = baseline_misses;
+        p.remainingMisses = r.misses;
+        p.missCoverage = baseline_misses == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(r.misses) /
+                    static_cast<double>(baseline_misses);
+        if (p.missCoverage < 0.0)
+            p.missCoverage = 0.0;
+        out.push_back(p);
+    }
+    return out;
+}
+
+std::vector<Fig10SpeedupPoint>
+runFig10Speedup(ServerWorkload w, const ExperimentBudget &budget,
+                const SystemConfig &cfg)
+{
+    const Program prog = buildWorkloadProgram(w);
+
+    const PrefetcherKind kinds[] = {
+        PrefetcherKind::None,
+        PrefetcherKind::NextLine,
+        PrefetcherKind::Tifs,
+        PrefetcherKind::Pif,
+        PrefetcherKind::Perfect,
+    };
+
+    std::vector<Fig10SpeedupPoint> out;
+    double baseline_uipc = 0.0;
+    for (PrefetcherKind kind : kinds) {
+        CycleEngine engine(cfg, prog, executorConfigFor(w), kind);
+        const CycleRunResult r = engine.run(budget.warmup,
+                                            budget.measure);
+        Fig10SpeedupPoint p;
+        p.kind = kind;
+        p.uipc = r.uipc;
+        if (kind == PrefetcherKind::None)
+            baseline_uipc = r.uipc;
+        p.speedup = baseline_uipc > 0.0 ? r.uipc / baseline_uipc : 0.0;
+        out.push_back(p);
+    }
+    return out;
+}
+
+} // namespace pifetch

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Multi-core runner implementation.
+ */
+
+#include "sim/multicore.hh"
+
+namespace pifetch {
+
+double
+MulticoreTraceResult::meanMissRatio() const
+{
+    if (perCore.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const TraceRunResult &r : perCore)
+        sum += r.missRatio();
+    return sum / static_cast<double>(perCore.size());
+}
+
+double
+MulticoreTraceResult::meanPifCoverage() const
+{
+    if (perCore.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const TraceRunResult &r : perCore)
+        sum += r.pifCoverage;
+    return sum / static_cast<double>(perCore.size());
+}
+
+std::uint64_t
+MulticoreTraceResult::totalMisses() const
+{
+    std::uint64_t sum = 0;
+    for (const TraceRunResult &r : perCore)
+        sum += r.misses;
+    return sum;
+}
+
+double
+MulticoreCycleResult::meanUipc() const
+{
+    if (perCore.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const CycleRunResult &r : perCore)
+        sum += r.uipc;
+    return sum / static_cast<double>(perCore.size());
+}
+
+InstCount
+MulticoreCycleResult::totalUserInstrs() const
+{
+    InstCount sum = 0;
+    for (const CycleRunResult &r : perCore)
+        sum += r.userInstrs;
+    return sum;
+}
+
+MulticoreTraceResult
+runMulticoreTrace(ServerWorkload w, PrefetcherKind kind, unsigned cores,
+                  InstCount warmup, InstCount measure,
+                  const SystemConfig &cfg)
+{
+    MulticoreTraceResult out;
+    out.perCore.reserve(cores);
+    for (unsigned core = 0; core < cores; ++core) {
+        // Each core executes its own instance of the workload: same
+        // program, different transaction interleaving and interrupt
+        // arrivals (seed offset), exactly like distinct server threads.
+        const Program prog = buildWorkloadProgram(w, core);
+        SystemConfig core_cfg = cfg;
+        core_cfg.seed = cfg.seed + core * 7919;
+        TraceEngine engine(core_cfg, prog,
+                           executorConfigFor(workloadParams(w, core),
+                                             core),
+                           makePrefetcher(kind, core_cfg));
+        out.perCore.push_back(engine.run(warmup, measure));
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * Interleave @p engines in round-robin chunks for @p total
+ * instructions each, emulating concurrent cores sharing predictor
+ * state.
+ */
+void
+interleave(std::vector<std::unique_ptr<TraceEngine>> &engines,
+           InstCount total)
+{
+    constexpr InstCount chunk = 10'000;
+    InstCount done = 0;
+    while (done < total) {
+        const InstCount step = std::min(chunk, total - done);
+        for (auto &engine : engines)
+            engine->advance(step);
+        done += step;
+    }
+}
+
+/** Mean correct-path miss ratio across engines from counter deltas. */
+double
+meanMissRatioSince(const std::vector<std::unique_ptr<TraceEngine>> &eng,
+                   const std::vector<std::uint64_t> &acc0,
+                   const std::vector<std::uint64_t> &miss0)
+{
+    double sum = 0.0;
+    for (std::size_t c = 0; c < eng.size(); ++c) {
+        const double acc = static_cast<double>(
+            eng[c]->frontend().correctPathFetches() - acc0[c]);
+        const double miss = static_cast<double>(
+            eng[c]->frontend().correctPathMisses() - miss0[c]);
+        sum += acc > 0.0 ? miss / acc : 0.0;
+    }
+    return sum / static_cast<double>(eng.size());
+}
+
+} // namespace
+
+SharedPifStudyResult
+runSharedPifStudy(ServerWorkload w, unsigned cores,
+                  std::uint64_t total_history_regions,
+                  InstCount warmup, InstCount measure,
+                  const SystemConfig &cfg)
+{
+    // All cores execute the SAME binary (distinct interleavings), as
+    // on a real server; otherwise cross-core sharing cannot help.
+    const Program prog = buildWorkloadProgram(w);
+    SharedPifStudyResult out;
+
+    for (const bool shared : {false, true}) {
+        SystemConfig run_cfg = cfg;
+        run_cfg.pif.historyRegions =
+            shared ? total_history_regions
+                   : std::max<std::uint64_t>(total_history_regions /
+                                                 cores,
+                                             256);
+
+        std::shared_ptr<SharedPifStorage> storage;
+        if (shared)
+            storage = std::make_shared<SharedPifStorage>(run_cfg.pif);
+
+        std::vector<std::unique_ptr<TraceEngine>> engines;
+        std::vector<Prefetcher *> prefetchers;
+        for (unsigned core = 0; core < cores; ++core) {
+            std::unique_ptr<Prefetcher> pf;
+            if (shared) {
+                pf = std::make_unique<SharedPifPrefetcher>(storage);
+            } else {
+                pf = std::make_unique<PifPrefetcher>(run_cfg.pif);
+            }
+            prefetchers.push_back(pf.get());
+            SystemConfig core_cfg = run_cfg;
+            core_cfg.seed = run_cfg.seed + core * 7919;
+            engines.push_back(std::make_unique<TraceEngine>(
+                core_cfg, prog,
+                executorConfigFor(workloadParams(w), core + 1),
+                std::move(pf)));
+        }
+
+        interleave(engines, warmup);
+        std::vector<std::uint64_t> acc0(cores);
+        std::vector<std::uint64_t> miss0(cores);
+        for (unsigned c = 0; c < cores; ++c) {
+            acc0[c] = engines[c]->frontend().correctPathFetches();
+            miss0[c] = engines[c]->frontend().correctPathMisses();
+            prefetchers[c]->resetStats();
+        }
+        interleave(engines, measure);
+
+        const double miss_ratio =
+            meanMissRatioSince(engines, acc0, miss0);
+        double coverage = 0.0;
+        for (unsigned c = 0; c < cores; ++c) {
+            if (shared) {
+                coverage += dynamic_cast<SharedPifPrefetcher *>(
+                                prefetchers[c])->coverage();
+            } else {
+                coverage += dynamic_cast<PifPrefetcher *>(
+                                prefetchers[c])->coverage();
+            }
+        }
+        coverage /= cores;
+
+        if (shared) {
+            out.sharedMissRatio = miss_ratio;
+            out.sharedCoverage = coverage;
+        } else {
+            out.privateMissRatio = miss_ratio;
+            out.privateCoverage = coverage;
+        }
+    }
+    return out;
+}
+
+MulticoreCycleResult
+runMulticoreCycle(ServerWorkload w, PrefetcherKind kind, unsigned cores,
+                  InstCount warmup, InstCount measure,
+                  const SystemConfig &cfg)
+{
+    MulticoreCycleResult out;
+    out.perCore.reserve(cores);
+    for (unsigned core = 0; core < cores; ++core) {
+        const Program prog = buildWorkloadProgram(w, core);
+        SystemConfig core_cfg = cfg;
+        core_cfg.seed = cfg.seed + core * 7919;
+        CycleEngine engine(core_cfg, prog,
+                           executorConfigFor(workloadParams(w, core),
+                                             core),
+                           kind);
+        out.perCore.push_back(engine.run(warmup, measure));
+    }
+    return out;
+}
+
+} // namespace pifetch

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Prefetcher selection and construction for the engines.
+ */
+
+#ifndef PIFETCH_SIM_SYSTEM_CONFIG_HH
+#define PIFETCH_SIM_SYSTEM_CONFIG_HH
+
+#include <memory>
+#include <string>
+
+#include "common/config.hh"
+#include "prefetch/prefetcher.hh"
+
+namespace pifetch {
+
+/** The prefetch configurations compared in Figure 10. */
+enum class PrefetcherKind {
+    None,           //!< no prefetching (Figure 10 baseline)
+    NextLine,       //!< aggressive next-line prefetcher
+    Tifs,           //!< temporal instruction fetch streaming
+    Discontinuity,  //!< discontinuity prefetcher (extension)
+    Pif,            //!< Proactive Instruction Fetch
+    Perfect,        //!< perfect-latency L1-I (engine-interpreted)
+};
+
+/** Display name matching the paper's figure legends. */
+std::string prefetcherName(PrefetcherKind kind);
+
+/**
+ * Construct a prefetcher of @p kind from @p cfg.
+ *
+ * Perfect returns a NullPrefetcher: the perfect-latency cache is a
+ * property the cycle engine applies, not a prefetch algorithm.
+ *
+ * @param unbounded Remove storage limits (Figure 10 left's
+ *        "no storage limitation" comparison) where supported.
+ */
+std::unique_ptr<Prefetcher> makePrefetcher(PrefetcherKind kind,
+                                           const SystemConfig &cfg,
+                                           bool unbounded = false);
+
+} // namespace pifetch
+
+#endif // PIFETCH_SIM_SYSTEM_CONFIG_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Trace engine implementation.
+ */
+
+#include "sim/trace_engine.hh"
+
+#include "pif/pif_prefetcher.hh"
+
+namespace pifetch {
+
+namespace {
+/** Prefetch candidates applied per instruction step (functional). */
+constexpr unsigned drainPerStep = 16;
+} // namespace
+
+TraceEngine::TraceEngine(const SystemConfig &cfg, const Program &prog,
+                         const ExecutorConfig &exec_cfg,
+                         std::unique_ptr<Prefetcher> prefetcher)
+    : cfg_(cfg),
+      exec_(prog, exec_cfg),
+      l1i_(cfg.l1i, ReplacementKind::LRU, cfg.seed),
+      frontend_(cfg, l1i_, cfg.seed ^ 0xfe7c4),
+      prefetcher_(std::move(prefetcher))
+{
+    events_.reserve(64);
+    drain_.reserve(drainPerStep);
+}
+
+void
+TraceEngine::stepOne()
+{
+    const RetiredInstr instr = exec_.next();
+
+    events_.clear();
+    const bool tagged = frontend_.step(instr, events_);
+
+    for (const FetchAccess &ev : events_) {
+        FetchInfo info;
+        info.block = ev.block;
+        info.pc = ev.correctPath ? instr.pc : blockBase(ev.block);
+        info.hit = ev.hit;
+        info.wasPrefetched = ev.wasPrefetched;
+        info.correctPath = ev.correctPath;
+        info.trapLevel = ev.trapLevel;
+        prefetcher_->onFetchAccess(info);
+    }
+
+    prefetcher_->onRetire(instr, tagged);
+
+    // Apply prefetch candidates: probe the tags first (Section 4.3's
+    // line-buffer path); a functional fill models a timely prefetch.
+    drain_.clear();
+    prefetcher_->drainRequests(drain_, drainPerStep);
+    for (Addr b : drain_) {
+        if (!l1i_.probe(b))
+            l1i_.fill(b, true);
+    }
+}
+
+void
+TraceEngine::advance(InstCount n)
+{
+    for (InstCount i = 0; i < n; ++i)
+        stepOne();
+}
+
+TraceRunResult
+TraceEngine::run(InstCount warmup, InstCount measure)
+{
+    advance(warmup);
+
+    // Snapshot warmup-end counters so the result reflects only the
+    // measurement window.
+    const std::uint64_t acc0 = frontend_.correctPathFetches();
+    const std::uint64_t miss0 = frontend_.correctPathMisses();
+    const std::uint64_t wrong0 = frontend_.wrongPathFetches();
+    const std::uint64_t misp0 = frontend_.mispredicts();
+    const std::uint64_t intr0 = exec_.interrupts();
+    const std::uint64_t fills0 = l1i_.prefetchFills();
+    const std::uint64_t useful0 = l1i_.usefulPrefetches();
+    prefetcher_->resetStats();
+
+    advance(measure);
+
+    TraceRunResult res;
+    res.instrs = measure;
+    res.accesses = frontend_.correctPathFetches() - acc0;
+    res.misses = frontend_.correctPathMisses() - miss0;
+    res.wrongPathFetches = frontend_.wrongPathFetches() - wrong0;
+    res.mispredicts = frontend_.mispredicts() - misp0;
+    res.interrupts = exec_.interrupts() - intr0;
+    res.prefetchIssued = prefetcher_->issued();
+    res.prefetchFills = l1i_.prefetchFills() - fills0;
+    res.usefulPrefetches = l1i_.usefulPrefetches() - useful0;
+
+    if (auto *pif = dynamic_cast<PifPrefetcher *>(prefetcher_.get())) {
+        res.pifCoverageTl0 = pif->coverage(0);
+        res.pifCoverageTl1 = pif->coverage(1);
+        res.pifCoverage = pif->coverage();
+    }
+    return res;
+}
+
+} // namespace pifetch

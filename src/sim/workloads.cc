@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Workload helper implementation.
+ */
+
+#include "sim/workloads.hh"
+
+namespace pifetch {
+
+Program
+buildWorkloadProgram(ServerWorkload w, std::uint64_t seed_offset)
+{
+    return WorkloadGenerator::build(workloadParams(w, seed_offset));
+}
+
+ExecutorConfig
+executorConfigFor(const WorkloadParams &params, std::uint64_t seed_offset)
+{
+    ExecutorConfig cfg;
+    cfg.seed = params.seed ^ (0xabcdef123456ull + seed_offset);
+    cfg.interruptRate = params.interruptRate;
+    cfg.maxCallDepth = params.maxCallDepth;
+    return cfg;
+}
+
+ExecutorConfig
+executorConfigFor(ServerWorkload w, std::uint64_t seed_offset)
+{
+    return executorConfigFor(workloadParams(w), seed_offset);
+}
+
+} // namespace pifetch

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Workload construction helpers shared by engines, tests and benches.
+ */
+
+#ifndef PIFETCH_SIM_WORKLOADS_HH
+#define PIFETCH_SIM_WORKLOADS_HH
+
+#include "trace/executor.hh"
+#include "trace/program.hh"
+#include "trace/server_suite.hh"
+
+namespace pifetch {
+
+/** Build (and validate) the Program for a server workload. */
+Program buildWorkloadProgram(ServerWorkload w,
+                             std::uint64_t seed_offset = 0);
+
+/** Executor configuration matching a workload's parameters. */
+ExecutorConfig executorConfigFor(const WorkloadParams &params,
+                                 std::uint64_t seed_offset = 0);
+
+/** Convenience: executor config for a workload preset. */
+ExecutorConfig executorConfigFor(ServerWorkload w,
+                                 std::uint64_t seed_offset = 0);
+
+} // namespace pifetch
+
+#endif // PIFETCH_SIM_WORKLOADS_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Jump-distance study implementation.
+ */
+
+#include "streams/jump_distance.hh"
+
+namespace pifetch {
+
+namespace {
+
+TemporalPredictorConfig
+studyConfig()
+{
+    TemporalPredictorConfig cfg;
+    cfg.historyCapacity = 0;  // unbounded: measure the full distribution
+    cfg.indexEntries = 0;
+    cfg.numStreams = 4;
+    cfg.window = 16;
+    return cfg;
+}
+
+} // namespace
+
+JumpDistanceStudy::JumpDistanceStudy(unsigned max_log2)
+    : pred_(studyConfig()), hist_(max_log2)
+{
+    pred_.onEpisodeEnd([this](const StreamEpisode &ep) {
+        if (ep.matched > 0) {
+            hist_.add(ep.jumpDistance,
+                      static_cast<double>(ep.matched));
+        }
+    });
+}
+
+void
+JumpDistanceStudy::observe(Addr block)
+{
+    pred_.observe(block);
+}
+
+void
+JumpDistanceStudy::finish()
+{
+    pred_.finish();
+}
+
+} // namespace pifetch

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Jump-distance study (Section 5.1, Figure 7).
+ *
+ * Measures the number of history elements between two occurrences of
+ * the same temporal stream, weighted by the correct predictions the
+ * recurrence produced. Long tails in this distribution are the paper's
+ * argument for deep history storage.
+ */
+
+#ifndef PIFETCH_STREAMS_JUMP_DISTANCE_HH
+#define PIFETCH_STREAMS_JUMP_DISTANCE_HH
+
+#include "common/histogram.hh"
+#include "streams/temporal_predictor.hh"
+
+namespace pifetch {
+
+/**
+ * Runs an unbounded temporal predictor over a block-address stream and
+ * accumulates the coverage-weighted jump-distance histogram.
+ */
+class JumpDistanceStudy
+{
+  public:
+    explicit JumpDistanceStudy(unsigned max_log2 = 30);
+
+    /** Feed the next block address of the observation stream. */
+    void observe(Addr block);
+
+    /** Close open episodes (call once at end of trace). */
+    void finish();
+
+    /** log2-bucketed histogram, weight = correct predictions. */
+    const Log2Histogram &histogram() const { return hist_; }
+
+    /** Underlying predictor (for aggregate stats). */
+    const TemporalStreamPredictor &predictor() const { return pred_; }
+
+  private:
+    TemporalStreamPredictor pred_;
+    Log2Histogram hist_;
+};
+
+} // namespace pifetch
+
+#endif // PIFETCH_STREAMS_JUMP_DISTANCE_HH

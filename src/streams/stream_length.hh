@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Temporal stream-length study (Section 5.3, Figure 9 left).
+ *
+ * Measures how long replayed temporal streams run before dying,
+ * weighted by the correct predictions each stream contributed. The
+ * observation stream is the compacted spatial-region trigger sequence,
+ * so lengths are in 8-block regions as in the paper.
+ */
+
+#ifndef PIFETCH_STREAMS_STREAM_LENGTH_HH
+#define PIFETCH_STREAMS_STREAM_LENGTH_HH
+
+#include "common/histogram.hh"
+#include "streams/temporal_predictor.hh"
+
+namespace pifetch {
+
+/**
+ * Coverage-weighted stream-length histogram over an element stream.
+ */
+class StreamLengthStudy
+{
+  public:
+    explicit StreamLengthStudy(unsigned max_log2 = 24);
+
+    /** Feed the next element (region trigger block). */
+    void observe(Addr element);
+
+    /** Close open episodes. */
+    void finish();
+
+    /** log2-bucketed stream lengths, weight = correct predictions. */
+    const Log2Histogram &histogram() const { return hist_; }
+
+    /** Underlying predictor (for aggregate stats). */
+    const TemporalStreamPredictor &predictor() const { return pred_; }
+
+  private:
+    TemporalStreamPredictor pred_;
+    Log2Histogram hist_;
+};
+
+} // namespace pifetch
+
+#endif // PIFETCH_STREAMS_STREAM_LENGTH_HH

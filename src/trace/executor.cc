@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Executor implementation.
+ */
+
+#include "trace/executor.hh"
+
+#include <algorithm>
+
+namespace pifetch {
+
+Executor::Executor(const Program &prog, const ExecutorConfig &cfg)
+    : prog_(prog), cfg_(cfg), rng_(cfg.seed)
+{
+    cur_ = Pos{prog_.dispatcher, 0, 0};
+
+    double sum = 0.0;
+    rootCdf_.reserve(prog_.transactionWeights.size());
+    for (double w : prog_.transactionWeights) {
+        sum += w;
+        rootCdf_.push_back(sum);
+    }
+    for (double &c : rootCdf_)
+        c /= sum;
+}
+
+std::uint32_t
+Executor::pickRoot()
+{
+    const double u = rng_.uniform();
+    const auto it = std::lower_bound(rootCdf_.begin(), rootCdf_.end(), u);
+    const std::size_t idx = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - rootCdf_.begin(),
+                                 static_cast<std::ptrdiff_t>(
+                                     rootCdf_.size() - 1)));
+    return prog_.transactionRoots[idx];
+}
+
+std::uint32_t
+Executor::pickHandler()
+{
+    // A couple of handlers (timer, NIC) dominate; the rest are rare.
+    const std::uint64_t z = rng_.zipf(prog_.handlers.size(), 1.2);
+    return prog_.handlers[z];
+}
+
+RetiredInstr
+Executor::emitTerminator(const BasicBlock &blk)
+{
+    const Function &fn = prog_.functions[cur_.fn];
+    RetiredInstr r;
+    r.pc = blk.termPc();
+    r.trapLevel = tl_;
+
+    switch (blk.term) {
+      case BlockTerm::FallThrough:
+        r.kind = InstrKind::Plain;
+        cur_.blk += 1;
+        cur_.instr = 0;
+        break;
+
+      case BlockTerm::CondBranch:
+      case BlockTerm::LoopBranch: {
+        r.kind = InstrKind::CondBranch;
+        r.target = fn.blocks[blk.targetBlock].start;
+        r.taken = rng_.chance(blk.takenProb);
+        if (r.taken) {
+            cur_.blk = blk.targetBlock;
+        } else {
+            cur_.blk += 1;
+        }
+        cur_.instr = 0;
+        break;
+      }
+
+      case BlockTerm::Jump:
+        r.kind = InstrKind::Jump;
+        r.target = fn.blocks[blk.targetBlock].start;
+        r.taken = true;
+        cur_.blk = blk.targetBlock;
+        cur_.instr = 0;
+        break;
+
+      case BlockTerm::Call: {
+        std::uint32_t callee = blk.callee;
+        if (cur_.fn == prog_.dispatcher) {
+            callee = pickRoot();
+            ++transactions_;
+        }
+        if (stack_.size() >= cfg_.maxCallDepth) {
+            // Depth cap: elide the call (treat as a plain instruction).
+            r.kind = InstrKind::Plain;
+            cur_.blk += 1;
+            cur_.instr = 0;
+            break;
+        }
+        r.kind = InstrKind::Call;
+        r.target = prog_.functions[callee].entry;
+        r.taken = true;
+        stack_.push_back(Pos{cur_.fn, cur_.blk + 1, 0});
+        cur_ = Pos{callee, 0, 0};
+        break;
+      }
+
+      case BlockTerm::Return: {
+        if (tl_ > 0 && stack_.size() == trapStackBase_) {
+            // Top-level return of an interrupt handler: resume the
+            // interrupted application instruction.
+            r.kind = InstrKind::TrapReturn;
+            r.target = addrOf(savedCur_);
+            r.taken = true;
+            cur_ = savedCur_;
+            tl_ = 0;
+            break;
+        }
+        if (stack_.empty()) {
+            // Should not happen (the dispatcher never returns), but
+            // recover by restarting the dispatch loop.
+            r.kind = InstrKind::Return;
+            r.target = prog_.functions[prog_.dispatcher].entry;
+            r.taken = true;
+            cur_ = Pos{prog_.dispatcher, 0, 0};
+            break;
+        }
+        const Pos ret = stack_.back();
+        stack_.pop_back();
+        r.kind = InstrKind::Return;
+        r.target = addrOf(ret);
+        r.taken = true;
+        cur_ = ret;
+        break;
+      }
+    }
+    return r;
+}
+
+RetiredInstr
+Executor::next()
+{
+    // Spontaneous interrupt delivery: only at TL0, between instructions.
+    if (tl_ == 0 && cfg_.interruptRate > 0.0 &&
+        rng_.chance(cfg_.interruptRate)) {
+        ++interrupts_;
+        savedCur_ = cur_;
+        trapStackBase_ = stack_.size();
+        tl_ = 1;
+        cur_ = Pos{pickHandler(), 0, 0};
+    }
+
+    const BasicBlock &blk = prog_.functions[cur_.fn].blocks[cur_.blk];
+
+    RetiredInstr r;
+    if (cur_.instr + 1 < blk.numInstrs) {
+        r.pc = blk.start + static_cast<Addr>(cur_.instr) * instrBytes;
+        r.kind = InstrKind::Plain;
+        r.trapLevel = tl_;
+        cur_.instr += 1;
+    } else {
+        r = emitTerminator(blk);
+    }
+
+    ++retired_;
+    return r;
+}
+
+} // namespace pifetch

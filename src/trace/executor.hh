@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Program executor: produces the retire-order instruction stream.
+ *
+ * Walks a Program's control-flow graph, resolving data-dependent
+ * branches and loop trip counts with a seeded Rng, injecting
+ * spontaneous interrupts (trap level 1), and dispatching transactions
+ * from the dispatcher loop. The emitted RetiredInstr sequence is the
+ * correct-path, retire-order stream of Section 2: it is what PIF's
+ * compactor observes, and what the front-end model perturbs to derive
+ * the access and miss streams.
+ */
+
+#ifndef PIFETCH_TRACE_EXECUTOR_HH
+#define PIFETCH_TRACE_EXECUTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "trace/program.hh"
+#include "trace/record.hh"
+
+namespace pifetch {
+
+/** Runtime knobs for the executor. */
+struct ExecutorConfig
+{
+    /** Seed for branch outcomes, dispatch and interrupts. */
+    std::uint64_t seed = 7;
+    /** Per-instruction probability of a spontaneous interrupt at TL0. */
+    double interruptRate = 0.0;
+    /** Call depth at which further calls are elided. */
+    unsigned maxCallDepth = 24;
+};
+
+/**
+ * Streaming executor: one retired instruction per next() call.
+ *
+ * The stream is infinite (the dispatcher loops forever); callers run it
+ * for as many instructions as their experiment needs.
+ */
+class Executor
+{
+  public:
+    Executor(const Program &prog, const ExecutorConfig &cfg);
+
+    /** Produce the next retired instruction. */
+    RetiredInstr next();
+
+    /** Run @p n instructions through @p sink (sink(const RetiredInstr&)). */
+    template <typename Sink>
+    void
+    run(InstCount n, Sink &&sink)
+    {
+        for (InstCount i = 0; i < n; ++i)
+            sink(next());
+    }
+
+    /** Instructions emitted so far. */
+    InstCount retired() const { return retired_; }
+
+    /** Interrupts delivered so far. */
+    std::uint64_t interrupts() const { return interrupts_; }
+
+    /** Transactions dispatched so far. */
+    std::uint64_t transactions() const { return transactions_; }
+
+    /** Current trap level (tests). */
+    TrapLevel trapLevel() const { return tl_; }
+
+  private:
+    /** A point in the program: function / block / instruction offset. */
+    struct Pos
+    {
+        std::uint32_t fn = 0;
+        std::uint32_t blk = 0;
+        std::uint32_t instr = 0;
+    };
+
+    /** Byte address of the instruction at @p pos. */
+    Addr
+    addrOf(const Pos &pos) const
+    {
+        const BasicBlock &b = prog_.functions[pos.fn].blocks[pos.blk];
+        return b.start + static_cast<Addr>(pos.instr) * instrBytes;
+    }
+
+    /** Choose the next transaction root (weighted). */
+    std::uint32_t pickRoot();
+
+    /** Choose an interrupt handler (skewed toward a few hot handlers). */
+    std::uint32_t pickHandler();
+
+    /** Emit the terminator instruction of the current block. */
+    RetiredInstr emitTerminator(const BasicBlock &blk);
+
+    const Program &prog_;
+    ExecutorConfig cfg_;
+    Rng rng_;
+
+    Pos cur_;
+    std::vector<Pos> stack_;
+
+    TrapLevel tl_ = 0;
+    Pos savedCur_;            //!< interrupted position (valid at TL1)
+    std::size_t trapStackBase_ = 0;
+
+    std::vector<double> rootCdf_;  //!< cumulative transaction weights
+
+    InstCount retired_ = 0;
+    std::uint64_t interrupts_ = 0;
+    std::uint64_t transactions_ = 0;
+};
+
+} // namespace pifetch
+
+#endif // PIFETCH_TRACE_EXECUTOR_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Program structural validation.
+ */
+
+#include "trace/program.hh"
+
+#include <string>
+
+namespace pifetch {
+
+void
+Program::validate() const
+{
+    if (functions.empty())
+        panic("program has no functions");
+    if (transactionRoots.empty())
+        panic("program has no transaction roots");
+    if (transactionRoots.size() != transactionWeights.size())
+        panic("transaction roots/weights size mismatch");
+
+    for (std::size_t f = 0; f < functions.size(); ++f) {
+        const Function &fn = functions[f];
+        if (fn.blocks.empty())
+            panic("function " + std::to_string(f) + " has no blocks");
+        if (fn.entry != fn.blocks.front().start)
+            panic("function entry != first block start");
+        Addr expect = fn.entry;
+        for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+            const BasicBlock &blk = fn.blocks[b];
+            if (blk.start != expect)
+                panic("non-contiguous blocks in function " +
+                      std::to_string(f));
+            if (blk.numInstrs == 0)
+                panic("empty basic block");
+            expect = blk.end();
+
+            switch (blk.term) {
+              case BlockTerm::CondBranch:
+              case BlockTerm::Jump:
+                if (blk.targetBlock >= fn.blocks.size())
+                    panic("branch target out of range");
+                if (blk.term == BlockTerm::CondBranch &&
+                    blk.targetBlock <= b) {
+                    panic("CondBranch must target forward; use "
+                          "LoopBranch for back edges");
+                }
+                break;
+              case BlockTerm::LoopBranch:
+                if (blk.targetBlock > b)
+                    panic("LoopBranch must target backward");
+                break;
+              case BlockTerm::Call:
+                if (blk.callee >= functions.size())
+                    panic("callee out of range");
+                if (b + 1 >= fn.blocks.size())
+                    panic("call in last block would fall through off "
+                          "the function on return");
+                break;
+              case BlockTerm::FallThrough:
+                if (b + 1 >= fn.blocks.size())
+                    panic("fall-through off the end of function " +
+                          std::to_string(f));
+                break;
+              case BlockTerm::Return:
+                break;
+            }
+        }
+        // The last block may not fall through off the end of the
+        // function: CondBranch/LoopBranch fall through when not taken,
+        // and Call falls through after the callee returns.
+        const BlockTerm last = fn.blocks.back().term;
+        if (last != BlockTerm::Return && last != BlockTerm::Jump)
+            panic("function " + std::to_string(f) +
+                  " does not end in return/jump");
+        if (fn.end() > codeEnd)
+            panic("function extends past codeEnd");
+    }
+
+    for (auto r : transactionRoots) {
+        if (r >= functions.size())
+            panic("transaction root out of range");
+    }
+    for (auto h : handlers) {
+        if (h >= functions.size())
+            panic("handler out of range");
+        if (!functions[h].isHandler)
+            panic("handler index names a non-handler function");
+    }
+}
+
+} // namespace pifetch

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Retire-order instruction records.
+ *
+ * The executor produces the correct-path, retire-order instruction
+ * stream as a sequence of RetiredInstr records. This is exactly the
+ * stream PIF observes at the back-end (Section 4.1); the front-end
+ * model *derives* the access and miss streams from it by re-introducing
+ * branch-predictor noise and I-cache filtering (Section 2).
+ */
+
+#ifndef PIFETCH_TRACE_RECORD_HH
+#define PIFETCH_TRACE_RECORD_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace pifetch {
+
+/** Control-flow class of an instruction. */
+enum class InstrKind : std::uint8_t {
+    Plain,       //!< falls through to pc + 4
+    CondBranch,  //!< conditional direct branch
+    Jump,        //!< unconditional direct jump
+    Call,        //!< direct call; target is the callee entry
+    Return,      //!< return; target is the caller's resume point
+    TrapEnter,   //!< asynchronous redirect into an interrupt handler
+    TrapReturn,  //!< return from an interrupt handler
+};
+
+/**
+ * One retired (architecturally committed) instruction.
+ */
+struct RetiredInstr
+{
+    /** Program counter of this instruction. */
+    Addr pc = 0;
+    /**
+     * Control-flow target: taken target for branches, callee entry for
+     * calls, resume address for returns and trap returns, handler entry
+     * for trap entries. invalidAddr for plain instructions.
+     */
+    Addr target = invalidAddr;
+    /** Control-flow class. */
+    InstrKind kind = InstrKind::Plain;
+    /** Trap level at which the instruction retired (0 = application). */
+    TrapLevel trapLevel = 0;
+    /** Actual direction for CondBranch; true for other transfers. */
+    bool taken = false;
+
+    /** Architectural next PC after this instruction. */
+    Addr
+    nextPc() const
+    {
+        switch (kind) {
+          case InstrKind::Plain:
+            return pc + instrBytes;
+          case InstrKind::CondBranch:
+            return taken ? target : pc + instrBytes;
+          case InstrKind::Jump:
+          case InstrKind::Call:
+          case InstrKind::Return:
+          case InstrKind::TrapEnter:
+          case InstrKind::TrapReturn:
+            return target;
+        }
+        return pc + instrBytes;
+    }
+
+    /** True for any instruction that can redirect fetch. */
+    bool
+    isControl() const
+    {
+        return kind != InstrKind::Plain;
+    }
+
+    /** True for asynchronous (unpredictable) control transfers. */
+    bool
+    isTrap() const
+    {
+        return kind == InstrKind::TrapEnter ||
+               kind == InstrKind::TrapReturn;
+    }
+};
+
+} // namespace pifetch
+
+#endif // PIFETCH_TRACE_RECORD_HH

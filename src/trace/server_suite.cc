@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Server workload presets.
+ */
+
+#include "trace/server_suite.hh"
+
+#include "common/types.hh"
+
+namespace pifetch {
+
+const std::vector<ServerWorkload> &
+allServerWorkloads()
+{
+    static const std::vector<ServerWorkload> all = {
+        ServerWorkload::OltpDb2,   ServerWorkload::OltpOracle,
+        ServerWorkload::DssQry2,   ServerWorkload::DssQry17,
+        ServerWorkload::WebApache, ServerWorkload::WebZeus,
+    };
+    return all;
+}
+
+std::string
+workloadName(ServerWorkload w)
+{
+    switch (w) {
+      case ServerWorkload::OltpDb2:    return "DB2";
+      case ServerWorkload::OltpOracle: return "Oracle";
+      case ServerWorkload::DssQry2:    return "Qry 2";
+      case ServerWorkload::DssQry17:   return "Qry 17";
+      case ServerWorkload::WebApache:  return "Apache";
+      case ServerWorkload::WebZeus:    return "Zeus";
+    }
+    panic("unknown workload");
+}
+
+std::string
+workloadGroup(ServerWorkload w)
+{
+    switch (w) {
+      case ServerWorkload::OltpDb2:
+      case ServerWorkload::OltpOracle: return "OLTP";
+      case ServerWorkload::DssQry2:
+      case ServerWorkload::DssQry17:   return "DSS";
+      case ServerWorkload::WebApache:
+      case ServerWorkload::WebZeus:    return "Web";
+    }
+    panic("unknown workload");
+}
+
+WorkloadParams
+workloadParams(ServerWorkload w, std::uint64_t seed_offset)
+{
+    WorkloadParams p;
+    switch (w) {
+      case ServerWorkload::OltpDb2:
+        p.name = "OLTP DB2";
+        p.seed = 0x0db2;
+        p.appFunctions = 2400;
+        p.libFunctions = 260;
+        p.meanFnBlocks = 6.5;
+        p.transactions = 8;
+        p.callDensity = 0.09;
+        p.meanAppCalls = 2.0;
+        p.condDensity = 0.24;
+        p.biasedFraction = 0.84;
+        p.loopsPerFunction = 0.5;
+        p.meanLoopIter = 6.0;
+        p.zipfS = 0.45;
+        p.interruptRate = 5.0e-5;
+        break;
+
+      case ServerWorkload::OltpOracle:
+        p.name = "OLTP Oracle";
+        p.seed = 0x0aac1e;
+        p.appFunctions = 3000;
+        p.libFunctions = 300;
+        p.meanFnBlocks = 7.0;
+        p.transactions = 10;
+        p.callDensity = 0.09;
+        p.meanAppCalls = 2.0;
+        p.condDensity = 0.26;
+        // Oracle shows the largest branch-noise loss in Fig. 2: more
+        // data-dependent (unstable) branches.
+        p.biasedFraction = 0.74;
+        p.loopsPerFunction = 0.5;
+        p.meanLoopIter = 6.0;
+        p.zipfS = 0.45;
+        p.interruptRate = 6.0e-5;
+        break;
+
+      case ServerWorkload::DssQry2:
+        p.name = "DSS Qry 2";
+        p.seed = 0xd5502;
+        p.appFunctions = 2200;
+        p.libFunctions = 260;
+        p.meanFnBlocks = 7.5;
+        p.transactions = 2;
+        p.callDensity = 0.08;
+        p.meanAppCalls = 2.0;
+        p.condDensity = 0.22;
+        p.biasedFraction = 0.88;
+        // Scan/join kernels: loopier with long trip counts.
+        p.loopsPerFunction = 1.2;
+        p.meanLoopIter = 24.0;
+        p.zipfS = 0.22;
+        p.interruptRate = 2.0e-5;
+        break;
+
+      case ServerWorkload::DssQry17:
+        p.name = "DSS Qry 17";
+        p.seed = 0xd5517;
+        p.appFunctions = 2400;
+        p.libFunctions = 280;
+        p.meanFnBlocks = 7.0;
+        p.transactions = 3;
+        p.callDensity = 0.08;
+        p.meanAppCalls = 2.15;
+        p.condDensity = 0.22;
+        p.biasedFraction = 0.86;
+        p.loopsPerFunction = 1.0;
+        p.meanLoopIter = 16.0;
+        p.zipfS = 0.22;
+        p.interruptRate = 2.5e-5;
+        break;
+
+      case ServerWorkload::WebApache:
+        p.name = "Web Apache";
+        p.seed = 0xa9ac4e;
+        p.appFunctions = 1700;
+        p.libFunctions = 650;  // heavy shared-library/OS involvement
+        p.meanFnBlocks = 5.5;
+        p.transactions = 6;
+        p.callDensity = 0.14;
+        p.meanAppCalls = 1.9;
+        p.condDensity = 0.25;
+        p.biasedFraction = 0.82;
+        p.loopsPerFunction = 0.4;
+        p.meanLoopIter = 5.0;
+        p.zipfS = 0.4;
+        p.interruptRate = 1.0e-4;  // network interrupts
+        break;
+
+      case ServerWorkload::WebZeus:
+        p.name = "Web Zeus";
+        p.seed = 0x2e05;
+        p.appFunctions = 1500;
+        p.libFunctions = 550;
+        p.meanFnBlocks = 5.5;
+        p.transactions = 5;
+        p.callDensity = 0.13;
+        p.meanAppCalls = 1.9;
+        p.condDensity = 0.25;
+        p.biasedFraction = 0.83;
+        p.loopsPerFunction = 0.4;
+        p.meanLoopIter = 5.0;
+        p.zipfS = 0.4;
+        p.interruptRate = 9.0e-5;
+        break;
+    }
+    p.seed = p.seed * 0x9e3779b97f4a7c15ull + seed_offset;
+    return p;
+}
+
+} // namespace pifetch

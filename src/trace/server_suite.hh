@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The six-workload server suite of Table I.
+ *
+ * Presets approximating the paper's workload mix:
+ *  - OLTP (TPC-C): DB2 and Oracle — largest instruction footprints,
+ *    deep call graphs, many transaction types.
+ *  - DSS (TPC-H): Qry2 and Qry17 — scan/join kernels, loop-dominated,
+ *    few "transaction" (query-plan) types.
+ *  - Web (SPECweb99): Apache and Zeus — heavy shared-library/OS
+ *    activity and the highest interrupt rates (network I/O).
+ *
+ * Parameters were calibrated so the cross-workload *trends* of the
+ * paper's figures reproduce (see EXPERIMENTS.md); absolute values
+ * necessarily differ from the commercial software stack.
+ */
+
+#ifndef PIFETCH_TRACE_SERVER_SUITE_HH
+#define PIFETCH_TRACE_SERVER_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/generator.hh"
+
+namespace pifetch {
+
+/** Identifiers for the six evaluated workloads. */
+enum class ServerWorkload {
+    OltpDb2,
+    OltpOracle,
+    DssQry2,
+    DssQry17,
+    WebApache,
+    WebZeus,
+};
+
+/** All six workloads in the paper's presentation order. */
+const std::vector<ServerWorkload> &allServerWorkloads();
+
+/** Short display name ("DB2", "Oracle", "Qry 2", ...). */
+std::string workloadName(ServerWorkload w);
+
+/** Workload class ("OLTP", "DSS", "Web"). */
+std::string workloadGroup(ServerWorkload w);
+
+/**
+ * Generator parameters for a workload.
+ * @param seed_offset Folded into the preset seed so multi-"core" runs
+ *        can execute distinct instances of the same workload.
+ */
+WorkloadParams workloadParams(ServerWorkload w,
+                              std::uint64_t seed_offset = 0);
+
+} // namespace pifetch
+
+#endif // PIFETCH_TRACE_SERVER_SUITE_HH

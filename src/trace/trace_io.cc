@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Trace file I/O implementation.
+ */
+
+#include "trace/trace_io.hh"
+
+#include <cstdio>
+#include <memory>
+
+namespace pifetch {
+
+namespace {
+
+/** On-disk record layout (packed, little-endian host assumed). */
+struct DiskRecord
+{
+    std::uint64_t pc;
+    std::uint64_t target;
+    std::uint8_t kind;
+    std::uint8_t trapLevel;
+    std::uint8_t taken;
+    std::uint8_t pad[5];
+};
+
+static_assert(sizeof(DiskRecord) == 24, "unexpected disk record size");
+
+struct Header
+{
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint64_t count;
+};
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { if (f) std::fclose(f); }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+bool
+writeTrace(const std::string &path, const std::vector<RetiredInstr> &records)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+
+    Header h{traceMagic, traceVersion, records.size()};
+    if (std::fwrite(&h, sizeof(h), 1, f.get()) != 1)
+        return false;
+
+    for (const RetiredInstr &r : records) {
+        DiskRecord d{};
+        d.pc = r.pc;
+        d.target = r.target;
+        d.kind = static_cast<std::uint8_t>(r.kind);
+        d.trapLevel = r.trapLevel;
+        d.taken = r.taken ? 1 : 0;
+        if (std::fwrite(&d, sizeof(d), 1, f.get()) != 1)
+            return false;
+    }
+    return true;
+}
+
+bool
+readTrace(const std::string &path, std::vector<RetiredInstr> &records)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return false;
+
+    Header h{};
+    if (std::fread(&h, sizeof(h), 1, f.get()) != 1)
+        return false;
+    if (h.magic != traceMagic || h.version != traceVersion)
+        return false;
+
+    records.clear();
+    records.reserve(h.count);
+    for (std::uint64_t i = 0; i < h.count; ++i) {
+        DiskRecord d{};
+        if (std::fread(&d, sizeof(d), 1, f.get()) != 1)
+            return false;
+        RetiredInstr r;
+        r.pc = d.pc;
+        r.target = d.target;
+        r.kind = static_cast<InstrKind>(d.kind);
+        r.trapLevel = d.trapLevel;
+        r.taken = d.taken != 0;
+        records.push_back(r);
+    }
+    return true;
+}
+
+} // namespace pifetch

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Binary trace file I/O.
+ *
+ * Lets users capture a retire-order stream once and replay it through
+ * predictors and prefetchers (the paper's trace-based methodology,
+ * Section 5). The format is a fixed little-endian header followed by
+ * packed records; versioned so future extensions stay readable.
+ */
+
+#ifndef PIFETCH_TRACE_TRACE_IO_HH
+#define PIFETCH_TRACE_TRACE_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace pifetch {
+
+/** Magic number identifying pifetch trace files ("PIFT"). */
+constexpr std::uint32_t traceMagic = 0x54464950;
+
+/** Current trace format version. */
+constexpr std::uint32_t traceVersion = 1;
+
+/**
+ * Write @p records to @p path.
+ * @return true on success; false on any I/O failure.
+ */
+bool writeTrace(const std::string &path,
+                const std::vector<RetiredInstr> &records);
+
+/**
+ * Read a trace file written by writeTrace().
+ * @param[out] records Replaced with the file contents on success.
+ * @return true on success; false on I/O error, bad magic, or version
+ *         mismatch.
+ */
+bool readTrace(const std::string &path,
+               std::vector<RetiredInstr> &records);
+
+} // namespace pifetch
+
+#endif // PIFETCH_TRACE_TRACE_IO_HH

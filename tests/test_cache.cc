@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Set-associative cache model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+namespace pifetch {
+namespace {
+
+CacheConfig
+tinyCache(std::uint64_t size = 4 * 64, unsigned assoc = 2)
+{
+    CacheConfig c;
+    c.name = "test";
+    c.sizeBytes = size;
+    c.assoc = assoc;
+    c.blockBytes = 64;
+    return c;
+}
+
+TEST(Cache, ColdAccessMisses)
+{
+    Cache c(tinyCache());
+    EXPECT_FALSE(c.access(1).hit);
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(Cache, FillThenHit)
+{
+    Cache c(tinyCache());
+    c.fill(1);
+    EXPECT_TRUE(c.access(1).hit);
+    EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(Cache, ProbeDoesNotDisturbState)
+{
+    Cache c(tinyCache());
+    c.fill(1);
+    EXPECT_TRUE(c.probe(1));
+    EXPECT_FALSE(c.probe(2));
+    EXPECT_EQ(c.hits(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    // 2 sets x 2 ways; blocks 0,2,4 map to set 0.
+    Cache c(tinyCache());
+    c.fill(0);
+    c.fill(2);
+    c.access(0);           // 0 is now MRU; 2 is LRU
+    const Addr victim = c.fill(4);
+    EXPECT_EQ(victim, 2u);
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(2));
+    EXPECT_TRUE(c.probe(4));
+}
+
+TEST(Cache, FillReturnsInvalidWhenNoVictim)
+{
+    Cache c(tinyCache());
+    EXPECT_EQ(c.fill(0), invalidAddr);
+    EXPECT_EQ(c.fill(2), invalidAddr);  // second way, still free
+}
+
+TEST(Cache, PrefetchedBitLifecycle)
+{
+    Cache c(tinyCache());
+    c.fill(1, true);
+    EXPECT_TRUE(c.isPrefetched(1));
+
+    const auto first = c.access(1);
+    EXPECT_TRUE(first.hit);
+    EXPECT_TRUE(first.firstDemandOfPrefetch);
+    EXPECT_FALSE(c.isPrefetched(1));
+
+    const auto second = c.access(1);
+    EXPECT_TRUE(second.hit);
+    EXPECT_FALSE(second.firstDemandOfPrefetch);
+    EXPECT_EQ(c.usefulPrefetches(), 1u);
+}
+
+TEST(Cache, UnusedPrefetchCountedOnEviction)
+{
+    Cache c(tinyCache());
+    c.fill(0, true);
+    c.fill(2);
+    c.access(2);
+    c.fill(4);  // evicts LRU = block 0, still prefetched
+    EXPECT_EQ(c.unusedPrefetches(), 1u);
+}
+
+TEST(Cache, RefillDoesNotDowngradeDemandLine)
+{
+    Cache c(tinyCache());
+    c.fill(1, false);
+    c.fill(1, true);  // prefetch racing an existing demand line
+    EXPECT_FALSE(c.isPrefetched(1));
+}
+
+TEST(Cache, InvalidateRemovesBlock)
+{
+    Cache c(tinyCache());
+    c.fill(1);
+    EXPECT_TRUE(c.invalidate(1));
+    EXPECT_FALSE(c.probe(1));
+    EXPECT_FALSE(c.invalidate(1));
+}
+
+TEST(Cache, FlushEmptiesEverything)
+{
+    Cache c(tinyCache());
+    c.fill(0);
+    c.fill(1);
+    c.flush();
+    EXPECT_EQ(c.validLines(), 0u);
+    EXPECT_FALSE(c.probe(0));
+}
+
+TEST(Cache, ValidLinesTracksOccupancy)
+{
+    Cache c(tinyCache());
+    EXPECT_EQ(c.validLines(), 0u);
+    c.fill(0);
+    c.fill(1);
+    c.fill(2);
+    EXPECT_EQ(c.validLines(), 3u);
+    c.fill(4);  // evicts within the full set 0: occupancy unchanged
+    EXPECT_EQ(c.validLines(), 3u);
+}
+
+TEST(Cache, MissRatio)
+{
+    Cache c(tinyCache());
+    c.access(0);  // miss
+    c.fill(0);
+    c.access(0);  // hit
+    EXPECT_DOUBLE_EQ(c.missRatio(), 0.5);
+}
+
+TEST(CacheDeath, RejectsNonPowerOfTwoSets)
+{
+    CacheConfig bad = tinyCache(3 * 64, 1);
+    EXPECT_EXIT(Cache c(bad), ::testing::ExitedWithCode(1),
+                "power");
+}
+
+TEST(Cache, DistinctSetsDoNotConflict)
+{
+    // Blocks 0 and 1 map to different sets in a 2-set cache.
+    Cache c(tinyCache());
+    c.fill(0);
+    c.fill(2);
+    c.fill(1);
+    c.fill(3);
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_TRUE(c.probe(1));
+    EXPECT_TRUE(c.probe(2));
+    EXPECT_TRUE(c.probe(3));
+}
+
+/**
+ * Property sweep over geometries: filling exactly `ways` distinct
+ * conflicting blocks never evicts; one more always evicts.
+ */
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(CacheGeometry, AssociativityIsRespected)
+{
+    const auto [sets_log2, ways] = GetParam();
+    const std::uint64_t sets = 1ull << sets_log2;
+    Cache c(tinyCache(sets * ways * 64, ways));
+    ASSERT_EQ(c.sets(), sets);
+
+    // Fill `ways` blocks all mapping to set 0.
+    for (unsigned w = 0; w < ways; ++w)
+        EXPECT_EQ(c.fill(w * sets), invalidAddr);
+    for (unsigned w = 0; w < ways; ++w)
+        EXPECT_TRUE(c.probe(w * sets));
+
+    // One more conflicting fill must evict exactly one resident.
+    const Addr victim = c.fill(ways * sets);
+    EXPECT_NE(victim, invalidAddr);
+    unsigned present = 0;
+    for (unsigned w = 0; w <= ways; ++w)
+        present += c.probe(w * sets) ? 1 : 0;
+    EXPECT_EQ(present, ways);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Combine(::testing::Values(0u, 1u, 3u, 6u),
+                       ::testing::Values(1u, 2u, 4u, 16u)));
+
+} // namespace
+} // namespace pifetch

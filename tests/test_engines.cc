@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Trace engine and cycle engine integration tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pif/pif_prefetcher.hh"
+#include "sim/cycle_engine.hh"
+#include "sim/trace_engine.hh"
+#include "sim/workloads.hh"
+
+namespace pifetch {
+namespace {
+
+constexpr InstCount kWarmup = 200'000;
+constexpr InstCount kMeasure = 400'000;
+
+SystemConfig
+testConfig()
+{
+    return SystemConfig{};
+}
+
+TraceRunResult
+runTrace(ServerWorkload w, PrefetcherKind kind)
+{
+    const SystemConfig cfg = testConfig();
+    const Program prog = buildWorkloadProgram(w);
+    TraceEngine engine(cfg, prog, executorConfigFor(w),
+                       makePrefetcher(kind, cfg));
+    return engine.run(kWarmup, kMeasure);
+}
+
+TEST(TraceEngine, BaselineHasSubstantialMisses)
+{
+    const TraceRunResult r = runTrace(ServerWorkload::OltpDb2,
+                                      PrefetcherKind::None);
+    EXPECT_EQ(r.instrs, kMeasure);
+    EXPECT_GT(r.accesses, kMeasure / 50);
+    // The paper's premise: server workloads thrash the 64KB L1-I.
+    EXPECT_GT(r.missRatio(), 0.02);
+    EXPECT_GT(r.mispredicts, 100u);
+    EXPECT_GT(r.wrongPathFetches, 100u);
+}
+
+TEST(TraceEngine, PifEliminatesMostMisses)
+{
+    const TraceRunResult base = runTrace(ServerWorkload::OltpDb2,
+                                         PrefetcherKind::None);
+    const TraceRunResult pif = runTrace(ServerWorkload::OltpDb2,
+                                        PrefetcherKind::Pif);
+    EXPECT_LT(pif.misses, base.misses / 4);
+    EXPECT_GT(pif.pifCoverage, 0.8);
+    EXPECT_GT(pif.prefetchFills, 0u);
+    EXPECT_GT(pif.usefulPrefetches, 0u);
+}
+
+TEST(TraceEngine, PrefetcherOrderingMatchesPaper)
+{
+    // Figure 10 (left): PIF > TIFS and PIF > next-line on misses
+    // eliminated.
+    const TraceRunResult base = runTrace(ServerWorkload::OltpDb2,
+                                         PrefetcherKind::None);
+    const TraceRunResult nl = runTrace(ServerWorkload::OltpDb2,
+                                       PrefetcherKind::NextLine);
+    const TraceRunResult tifs = runTrace(ServerWorkload::OltpDb2,
+                                         PrefetcherKind::Tifs);
+    const TraceRunResult pif = runTrace(ServerWorkload::OltpDb2,
+                                        PrefetcherKind::Pif);
+    EXPECT_LT(nl.misses, base.misses);
+    EXPECT_LT(tifs.misses, base.misses);
+    EXPECT_LT(pif.misses, tifs.misses);
+    EXPECT_LT(pif.misses, nl.misses);
+}
+
+TEST(TraceEngine, DeterministicAcrossRuns)
+{
+    const TraceRunResult a = runTrace(ServerWorkload::WebZeus,
+                                      PrefetcherKind::Pif);
+    const TraceRunResult b = runTrace(ServerWorkload::WebZeus,
+                                      PrefetcherKind::Pif);
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.prefetchIssued, b.prefetchIssued);
+    EXPECT_DOUBLE_EQ(a.pifCoverage, b.pifCoverage);
+}
+
+TEST(TraceEngine, AccessSequenceUnperturbedByPrefetching)
+{
+    // The functional engine's fetch sequence must not depend on the
+    // prefetcher (only hit/miss outcomes change).
+    const TraceRunResult none = runTrace(ServerWorkload::DssQry17,
+                                         PrefetcherKind::None);
+    const TraceRunResult pif = runTrace(ServerWorkload::DssQry17,
+                                        PrefetcherKind::Pif);
+    EXPECT_EQ(none.accesses, pif.accesses);
+    EXPECT_EQ(none.mispredicts, pif.mispredicts);
+    EXPECT_EQ(none.interrupts, pif.interrupts);
+}
+
+TEST(TraceEngine, TrapLevelCoverageReported)
+{
+    const TraceRunResult pif = runTrace(ServerWorkload::WebApache,
+                                        PrefetcherKind::Pif);
+    EXPECT_GT(pif.pifCoverageTl0, 0.5);
+    EXPECT_GT(pif.pifCoverageTl1, 0.0);
+    EXPECT_LE(pif.pifCoverage, 1.0);
+}
+
+CycleRunResult
+runCycle(ServerWorkload w, PrefetcherKind kind)
+{
+    const SystemConfig cfg = testConfig();
+    const Program prog = buildWorkloadProgram(w);
+    CycleEngine engine(cfg, prog, executorConfigFor(w), kind);
+    return engine.run(kWarmup, kMeasure);
+}
+
+TEST(CycleEngine, BaselineUipcIsSane)
+{
+    const CycleRunResult r = runCycle(ServerWorkload::OltpDb2,
+                                      PrefetcherKind::None);
+    EXPECT_GT(r.uipc, 0.1);
+    EXPECT_LT(r.uipc, 3.0);
+    EXPECT_EQ(r.instrs, kMeasure);
+    EXPECT_GT(r.fetchStallCycles, 0u);
+    EXPECT_GT(r.demandMisses, 0u);
+}
+
+TEST(CycleEngine, SpeedupOrderingMatchesPaper)
+{
+    // Figure 10 (right): None < prefetchers < Perfect; PIF close to
+    // Perfect.
+    const double none = runCycle(ServerWorkload::OltpDb2,
+                                 PrefetcherKind::None).uipc;
+    const double nl = runCycle(ServerWorkload::OltpDb2,
+                               PrefetcherKind::NextLine).uipc;
+    const double pif = runCycle(ServerWorkload::OltpDb2,
+                                PrefetcherKind::Pif).uipc;
+    const double perfect = runCycle(ServerWorkload::OltpDb2,
+                                    PrefetcherKind::Perfect).uipc;
+    EXPECT_GT(nl, none);
+    EXPECT_GT(pif, nl);
+    EXPECT_GT(perfect, none * 1.05);
+    // PIF converges toward the perfect cache (Section 5.6).
+    EXPECT_GT(pif, none + 0.7 * (perfect - none));
+}
+
+TEST(CycleEngine, PerfectCacheHasNoFetchStalls)
+{
+    const CycleRunResult r = runCycle(ServerWorkload::OltpDb2,
+                                      PrefetcherKind::Perfect);
+    EXPECT_EQ(r.fetchStallCycles, 0u);
+    EXPECT_EQ(r.demandMisses, 0u);
+}
+
+TEST(CycleEngine, UserInstructionsExcludeHandlers)
+{
+    const CycleRunResult r = runCycle(ServerWorkload::WebApache,
+                                      PrefetcherKind::None);
+    EXPECT_LT(r.userInstrs, r.instrs);
+    EXPECT_GT(r.userInstrs, r.instrs * 9 / 10);
+}
+
+TEST(CycleEngine, PrefetchesFlowThroughMshrs)
+{
+    const CycleRunResult r = runCycle(ServerWorkload::OltpDb2,
+                                      PrefetcherKind::Pif);
+    EXPECT_GT(r.prefetchFills, 0u);
+    EXPECT_GT(r.l2Hits + r.l2Misses, 0u);
+}
+
+TEST(CycleEngine, DeterministicAcrossRuns)
+{
+    const CycleRunResult a = runCycle(ServerWorkload::DssQry2,
+                                      PrefetcherKind::Tifs);
+    const CycleRunResult b = runCycle(ServerWorkload::DssQry2,
+                                      PrefetcherKind::Tifs);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.demandMisses, b.demandMisses);
+}
+
+} // namespace
+} // namespace pifetch

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Executor tests: control-flow continuity, traps, determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+#include "trace/executor.hh"
+#include "trace/generator.hh"
+
+namespace pifetch {
+namespace {
+
+ExecutorConfig
+quietConfig(std::uint64_t seed = 5)
+{
+    ExecutorConfig cfg;
+    cfg.seed = seed;
+    cfg.interruptRate = 0.0;
+    return cfg;
+}
+
+TEST(Executor, StartsInDispatcher)
+{
+    const Program prog = testutil::tinyProgram();
+    Executor exec(prog, quietConfig());
+    const RetiredInstr first = exec.next();
+    EXPECT_EQ(first.pc, prog.functions[0].entry);
+    EXPECT_EQ(first.trapLevel, 0);
+}
+
+TEST(Executor, PcChainIsContinuous)
+{
+    const Program prog = testutil::tinyProgram(0.5);
+    Executor exec(prog, quietConfig());
+    RetiredInstr prev = exec.next();
+    for (int i = 0; i < 5000; ++i) {
+        const RetiredInstr cur = exec.next();
+        ASSERT_EQ(cur.pc, prev.nextPc())
+            << "discontinuity at instruction " << i;
+        prev = cur;
+    }
+}
+
+TEST(Executor, DispatcherCallTargetsRoot)
+{
+    const Program prog = testutil::tinyProgram();
+    Executor exec(prog, quietConfig());
+    // Walk until the first call retires.
+    for (int i = 0; i < 100; ++i) {
+        const RetiredInstr r = exec.next();
+        if (r.kind == InstrKind::Call) {
+            EXPECT_EQ(r.target, prog.functions[1].entry);
+            return;
+        }
+    }
+    FAIL() << "no call retired";
+}
+
+TEST(Executor, ReturnsTargetCallSiteContinuation)
+{
+    const Program prog = testutil::tinyProgram();
+    Executor exec(prog, quietConfig());
+    Addr expected_return = invalidAddr;
+    for (int i = 0; i < 200; ++i) {
+        const RetiredInstr r = exec.next();
+        if (r.kind == InstrKind::Call &&
+            r.target == prog.functions[2].entry) {
+            expected_return = r.pc + instrBytes;
+        }
+        if (r.kind == InstrKind::Return && expected_return != invalidAddr) {
+            EXPECT_EQ(r.target, expected_return);
+            return;
+        }
+    }
+    FAIL() << "no leaf call/return pair retired";
+}
+
+TEST(Executor, TransactionsAccumulate)
+{
+    const Program prog = testutil::tinyProgram();
+    Executor exec(prog, quietConfig());
+    exec.run(5000, [](const RetiredInstr &) {});
+    EXPECT_GT(exec.transactions(), 50u);
+}
+
+TEST(Executor, CondBranchFollowsProbability)
+{
+    const Program always = testutil::tinyProgram(1.0);
+    Executor exec(always, quietConfig());
+    int taken = 0;
+    int total = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const RetiredInstr r = exec.next();
+        if (r.kind == InstrKind::CondBranch) {
+            ++total;
+            taken += r.taken ? 1 : 0;
+        }
+    }
+    ASSERT_GT(total, 0);
+    EXPECT_EQ(taken, total);  // probability 1.0: always taken
+}
+
+TEST(Executor, DeterministicForSeed)
+{
+    const Program prog = testutil::tinyProgram(0.5);
+    Executor a(prog, quietConfig(7));
+    Executor b(prog, quietConfig(7));
+    for (int i = 0; i < 2000; ++i) {
+        const RetiredInstr ra = a.next();
+        const RetiredInstr rb = b.next();
+        ASSERT_EQ(ra.pc, rb.pc);
+        ASSERT_EQ(ra.taken, rb.taken);
+    }
+}
+
+TEST(Executor, InterruptsEnterTrapLevelOneAndReturn)
+{
+    const Program prog = testutil::tinyProgram();
+    ExecutorConfig cfg = quietConfig();
+    cfg.interruptRate = 0.01;  // frequent, for test coverage
+    Executor exec(prog, cfg);
+
+    bool saw_handler = false;
+    bool saw_trap_return = false;
+    RetiredInstr prev = exec.next();
+    for (int i = 0; i < 20000; ++i) {
+        const RetiredInstr cur = exec.next();
+        if (cur.trapLevel == 1) {
+            saw_handler = true;
+            // Handler body must come from the handler function.
+            EXPECT_GE(cur.pc, prog.functions[3].entry);
+        }
+        if (cur.kind == InstrKind::TrapReturn) {
+            saw_trap_return = true;
+            EXPECT_EQ(cur.trapLevel, 1);
+        }
+        if (prev.kind == InstrKind::TrapReturn) {
+            // Execution resumes exactly at the interrupted PC.
+            EXPECT_EQ(cur.pc, prev.target);
+            EXPECT_EQ(cur.trapLevel, 0);
+        }
+        // Trap entry: level rises without a control instruction.
+        if (cur.trapLevel > prev.trapLevel)
+            EXPECT_EQ(cur.pc, prog.functions[3].entry);
+        prev = cur;
+    }
+    EXPECT_TRUE(saw_handler);
+    EXPECT_TRUE(saw_trap_return);
+    EXPECT_GT(exec.interrupts(), 0u);
+}
+
+TEST(Executor, NoNestedInterrupts)
+{
+    const Program prog = testutil::tinyProgram();
+    ExecutorConfig cfg = quietConfig();
+    cfg.interruptRate = 0.05;
+    Executor exec(prog, cfg);
+    for (int i = 0; i < 20000; ++i)
+        EXPECT_LE(exec.next().trapLevel, 1);
+}
+
+TEST(Executor, DepthCapElidesCalls)
+{
+    // Two mutually-calling functions would recurse forever without
+    // the cap: fnA calls fnB, fnB calls fnA.
+    Program prog;
+    prog.functions.resize(3);
+    testutil::addBlock(prog.functions[0], 4, BlockTerm::Call, 1);
+    testutil::addBlock(prog.functions[0], 4, BlockTerm::Jump, 0);
+    testutil::addBlock(prog.functions[1], 4, BlockTerm::Call, 2);
+    testutil::addBlock(prog.functions[1], 4, BlockTerm::Return);
+    testutil::addBlock(prog.functions[2], 4, BlockTerm::Call, 1);
+    testutil::addBlock(prog.functions[2], 4, BlockTerm::Return);
+    prog.transactionRoots = {1};
+    prog.transactionWeights = {1.0};
+    prog.handlers = {};
+    testutil::layoutAll(prog);
+
+    ExecutorConfig cfg = quietConfig();
+    cfg.maxCallDepth = 8;
+    Executor exec(prog, cfg);
+    // Must not hang or overflow: run a large number of instructions.
+    exec.run(50000, [](const RetiredInstr &) {});
+    EXPECT_GT(exec.transactions(), 0u);
+}
+
+TEST(Executor, LoopIteratesGeometrically)
+{
+    // Single function with a loop of mean 4 iterations.
+    Program prog;
+    prog.functions.resize(2);
+    testutil::addBlock(prog.functions[0], 4, BlockTerm::Call, 1);
+    testutil::addBlock(prog.functions[0], 4, BlockTerm::Jump, 0);
+    Function &fn = prog.functions[1];
+    testutil::addBlock(fn, 4, BlockTerm::FallThrough);
+    testutil::addBlock(fn, 4, BlockTerm::LoopBranch, 1, 0.75);
+    testutil::addBlock(fn, 4, BlockTerm::Return);
+    prog.transactionRoots = {1};
+    prog.transactionWeights = {1.0};
+    testutil::layoutAll(prog);
+
+    Executor exec(prog, quietConfig());
+    std::uint64_t loop_branches = 0;
+    std::uint64_t taken = 0;
+    for (int i = 0; i < 100000; ++i) {
+        const RetiredInstr r = exec.next();
+        if (r.kind == InstrKind::CondBranch) {
+            ++loop_branches;
+            taken += r.taken ? 1 : 0;
+        }
+    }
+    ASSERT_GT(loop_branches, 1000u);
+    EXPECT_NEAR(static_cast<double>(taken) /
+                    static_cast<double>(loop_branches),
+                0.75, 0.03);
+}
+
+TEST(Executor, GeneratedWorkloadRunsWithoutDiscontinuities)
+{
+    WorkloadParams p;
+    p.appFunctions = 150;
+    p.libFunctions = 30;
+    p.handlers = 3;
+    p.callLayers = 5;
+    p.transactions = 3;
+    p.seed = 3;
+    const Program prog = WorkloadGenerator::build(p);
+
+    ExecutorConfig cfg;
+    cfg.seed = 17;
+    cfg.interruptRate = 1e-4;
+    Executor exec(prog, cfg);
+    RetiredInstr prev = exec.next();
+    for (int i = 0; i < 100000; ++i) {
+        const RetiredInstr cur = exec.next();
+        if (cur.trapLevel == prev.trapLevel) {
+            ASSERT_EQ(cur.pc, prev.nextPc())
+                << "discontinuity at " << i;
+        }
+        prev = cur;
+    }
+}
+
+} // namespace
+} // namespace pifetch

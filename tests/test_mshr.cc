@@ -1,0 +1,92 @@
+/**
+ * @file
+ * MSHR file tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/mshr.hh"
+
+namespace pifetch {
+namespace {
+
+TEST(MshrFile, AllocateAndContains)
+{
+    MshrFile m(2);
+    EXPECT_TRUE(m.allocate(10, 100, false));
+    EXPECT_TRUE(m.contains(10));
+    EXPECT_FALSE(m.contains(11));
+}
+
+TEST(MshrFile, RejectsDuplicates)
+{
+    MshrFile m(4);
+    EXPECT_TRUE(m.allocate(10, 100, false));
+    EXPECT_FALSE(m.allocate(10, 200, true));
+}
+
+TEST(MshrFile, FullRejectsNewAllocations)
+{
+    MshrFile m(2);
+    EXPECT_TRUE(m.allocate(1, 10, false));
+    EXPECT_TRUE(m.allocate(2, 10, false));
+    EXPECT_TRUE(m.full());
+    EXPECT_FALSE(m.allocate(3, 10, false));
+}
+
+TEST(MshrFile, DrainReadyReturnsOnlyElapsed)
+{
+    MshrFile m(4);
+    m.allocate(1, 10, false);
+    m.allocate(2, 20, true);
+    m.allocate(3, 30, false);
+
+    const auto ready = m.drainReady(20);
+    ASSERT_EQ(ready.size(), 2u);
+    EXPECT_EQ(ready[0].block, 1u);
+    EXPECT_EQ(ready[1].block, 2u);
+    EXPECT_TRUE(ready[1].isPrefetch);
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_TRUE(m.contains(3));
+}
+
+TEST(MshrFile, DrainReadySortsByCompletion)
+{
+    MshrFile m(4);
+    m.allocate(5, 30, false);
+    m.allocate(6, 10, false);
+    m.allocate(7, 20, false);
+    const auto ready = m.drainReady(100);
+    ASSERT_EQ(ready.size(), 3u);
+    EXPECT_EQ(ready[0].block, 6u);
+    EXPECT_EQ(ready[1].block, 7u);
+    EXPECT_EQ(ready[2].block, 5u);
+}
+
+TEST(MshrFile, NoteDemandMarksEntryAndReturnsReadyTime)
+{
+    MshrFile m(2);
+    m.allocate(9, 55, true);
+    EXPECT_EQ(m.noteDemand(9), 55u);
+    const auto ready = m.drainReady(60);
+    ASSERT_EQ(ready.size(), 1u);
+    EXPECT_TRUE(ready[0].demandHit);
+}
+
+TEST(MshrFileDeath, NoteDemandOnAbsentBlockPanics)
+{
+    MshrFile m(2);
+    EXPECT_DEATH(m.noteDemand(1), "no outstanding fill");
+}
+
+TEST(MshrFile, ClearEmpties)
+{
+    MshrFile m(2);
+    m.allocate(1, 1, false);
+    m.clear();
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_FALSE(m.full());
+}
+
+} // namespace
+} // namespace pifetch

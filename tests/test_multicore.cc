@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Multi-core runner tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/multicore.hh"
+
+namespace pifetch {
+namespace {
+
+TEST(Multicore, PerCoreResultsDiffer)
+{
+    const auto res = runMulticoreTrace(ServerWorkload::OltpDb2,
+                                       PrefetcherKind::None, 3,
+                                       100'000, 200'000);
+    ASSERT_EQ(res.perCore.size(), 3u);
+    // Distinct seeds: cores see different interleavings.
+    EXPECT_NE(res.perCore[0].misses, res.perCore[1].misses);
+    for (const TraceRunResult &r : res.perCore)
+        EXPECT_GT(r.accesses, 0u);
+}
+
+TEST(Multicore, AggregatesAreConsistent)
+{
+    const auto res = runMulticoreTrace(ServerWorkload::WebZeus,
+                                       PrefetcherKind::None, 2,
+                                       100'000, 200'000);
+    std::uint64_t total = 0;
+    for (const TraceRunResult &r : res.perCore)
+        total += r.misses;
+    EXPECT_EQ(res.totalMisses(), total);
+    EXPECT_GT(res.meanMissRatio(), 0.0);
+    EXPECT_LT(res.meanMissRatio(), 1.0);
+}
+
+TEST(Multicore, PifImprovesMeanAcrossCores)
+{
+    const auto base = runMulticoreTrace(ServerWorkload::OltpDb2,
+                                        PrefetcherKind::None, 2,
+                                        150'000, 300'000);
+    const auto pif = runMulticoreTrace(ServerWorkload::OltpDb2,
+                                       PrefetcherKind::Pif, 2,
+                                       150'000, 300'000);
+    EXPECT_LT(pif.totalMisses(), base.totalMisses() / 2);
+    EXPECT_GT(pif.meanPifCoverage(), 0.7);
+}
+
+TEST(Multicore, CycleRunnerAveragesUipc)
+{
+    const auto res = runMulticoreCycle(ServerWorkload::OltpDb2,
+                                       PrefetcherKind::None, 2,
+                                       100'000, 200'000);
+    ASSERT_EQ(res.perCore.size(), 2u);
+    EXPECT_GT(res.meanUipc(), 0.1);
+    EXPECT_GT(res.totalUserInstrs(), 300'000u);
+}
+
+TEST(Multicore, DeterministicAcrossInvocations)
+{
+    const auto a = runMulticoreTrace(ServerWorkload::DssQry17,
+                                     PrefetcherKind::Tifs, 2,
+                                     100'000, 150'000);
+    const auto b = runMulticoreTrace(ServerWorkload::DssQry17,
+                                     PrefetcherKind::Tifs, 2,
+                                     100'000, 150'000);
+    for (std::size_t c = 0; c < 2; ++c) {
+        EXPECT_EQ(a.perCore[c].misses, b.perCore[c].misses);
+        EXPECT_EQ(a.perCore[c].accesses, b.perCore[c].accesses);
+    }
+}
+
+TEST(Multicore, EmptyResultIsSafe)
+{
+    MulticoreTraceResult empty;
+    EXPECT_DOUBLE_EQ(empty.meanMissRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.meanPifCoverage(), 0.0);
+    EXPECT_EQ(empty.totalMisses(), 0u);
+    MulticoreCycleResult empty_cycle;
+    EXPECT_DOUBLE_EQ(empty_cycle.meanUipc(), 0.0);
+}
+
+} // namespace
+} // namespace pifetch

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Program structure and generator tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.hh"
+#include "trace/generator.hh"
+#include "trace/server_suite.hh"
+
+namespace pifetch {
+namespace {
+
+WorkloadParams
+smallParams()
+{
+    WorkloadParams p;
+    p.name = "test";
+    p.seed = 99;
+    p.appFunctions = 200;
+    p.libFunctions = 40;
+    p.handlers = 4;
+    p.callLayers = 5;
+    p.transactions = 4;
+    return p;
+}
+
+TEST(Program, TinyProgramValidates)
+{
+    const Program prog = testutil::tinyProgram();
+    EXPECT_EQ(prog.functions.size(), 4u);
+    EXPECT_GT(prog.footprintBlocks(), 0u);
+}
+
+TEST(ProgramDeath, RejectsEmptyProgram)
+{
+    Program prog;
+    EXPECT_DEATH(prog.validate(), "no functions");
+}
+
+TEST(ProgramDeath, RejectsCallInLastBlock)
+{
+    Program prog = testutil::tinyProgram();
+    // Corrupt the leaf: a call in its only (last) block.
+    prog.functions[2].blocks[0].term = BlockTerm::Call;
+    prog.functions[2].blocks[0].callee = 1;
+    EXPECT_DEATH(prog.validate(), "fall through");
+}
+
+TEST(ProgramDeath, RejectsForwardLoopBranch)
+{
+    Program prog = testutil::tinyProgram();
+    prog.functions[1].blocks[1].term = BlockTerm::LoopBranch;
+    prog.functions[1].blocks[1].targetBlock = 3;  // forward: illegal
+    EXPECT_DEATH(prog.validate(), "backward");
+}
+
+TEST(Generator, BuildsValidProgram)
+{
+    const Program prog = WorkloadGenerator::build(smallParams());
+    // validate() ran inside build(); basic shape checks:
+    EXPECT_EQ(prog.functions.size(), 1u + 200 + 40 + 4);
+    EXPECT_EQ(prog.transactionRoots.size(), 4u);
+    EXPECT_EQ(prog.handlers.size(), 4u);
+    EXPECT_EQ(prog.dispatcher, 0u);
+}
+
+TEST(Generator, DeterministicForSeed)
+{
+    const Program a = WorkloadGenerator::build(smallParams());
+    const Program b = WorkloadGenerator::build(smallParams());
+    ASSERT_EQ(a.functions.size(), b.functions.size());
+    EXPECT_EQ(a.codeEnd, b.codeEnd);
+    for (std::size_t f = 0; f < a.functions.size(); ++f) {
+        ASSERT_EQ(a.functions[f].blocks.size(),
+                  b.functions[f].blocks.size());
+        EXPECT_EQ(a.functions[f].entry, b.functions[f].entry);
+        for (std::size_t i = 0; i < a.functions[f].blocks.size(); ++i) {
+            EXPECT_EQ(a.functions[f].blocks[i].callee,
+                      b.functions[f].blocks[i].callee);
+            EXPECT_EQ(a.functions[f].blocks[i].term,
+                      b.functions[f].blocks[i].term);
+        }
+    }
+}
+
+TEST(Generator, DifferentSeedsDiffer)
+{
+    WorkloadParams p1 = smallParams();
+    WorkloadParams p2 = smallParams();
+    p2.seed = 1234;
+    const Program a = WorkloadGenerator::build(p1);
+    const Program b = WorkloadGenerator::build(p2);
+    EXPECT_NE(a.codeEnd, b.codeEnd);
+}
+
+TEST(Generator, FunctionsAreBlockAlignedAndOrdered)
+{
+    const Program prog = WorkloadGenerator::build(smallParams());
+    Addr prev_end = 0;
+    for (const Function &fn : prog.functions) {
+        EXPECT_EQ(fn.entry % blockBytes, 0u);
+        EXPECT_GE(fn.entry, prev_end);
+        prev_end = fn.end();
+    }
+}
+
+TEST(Generator, LayeredCallGraphIsAcyclicOverAppFunctions)
+{
+    const WorkloadParams p = smallParams();
+    const Program prog = WorkloadGenerator::build(p);
+    const std::uint32_t app_first = 1;
+    const std::uint32_t lib_first = app_first + p.appFunctions;
+    for (std::uint32_t f = app_first; f < lib_first; ++f) {
+        const unsigned layer = (f - app_first) % p.callLayers;
+        for (const BasicBlock &b : prog.functions[f].blocks) {
+            if (b.term != BlockTerm::Call)
+                continue;
+            if (b.callee >= lib_first)
+                continue;  // library helper: checked separately
+            const unsigned callee_layer =
+                (b.callee - app_first) % p.callLayers;
+            EXPECT_EQ(callee_layer, layer + 1)
+                << "fn " << f << " layer " << layer << " calls layer "
+                << callee_layer;
+        }
+    }
+}
+
+TEST(Generator, LibraryCallsFormAscendingDag)
+{
+    const WorkloadParams p = smallParams();
+    const Program prog = WorkloadGenerator::build(p);
+    const std::uint32_t lib_first = 1 + p.appFunctions;
+    const std::uint32_t handler_first = lib_first + p.libFunctions;
+    for (std::uint32_t f = lib_first; f < handler_first; ++f) {
+        for (const BasicBlock &b : prog.functions[f].blocks) {
+            if (b.term != BlockTerm::Call)
+                continue;
+            EXPECT_GT(b.callee, f);
+            EXPECT_LT(b.callee, handler_first);
+        }
+    }
+}
+
+TEST(Generator, HandlersCallOnlyLibrary)
+{
+    const WorkloadParams p = smallParams();
+    const Program prog = WorkloadGenerator::build(p);
+    const std::uint32_t lib_first = 1 + p.appFunctions;
+    const std::uint32_t handler_first = lib_first + p.libFunctions;
+    for (std::uint32_t h : prog.handlers) {
+        EXPECT_GE(h, handler_first);
+        EXPECT_TRUE(prog.functions[h].isHandler);
+        for (const BasicBlock &b : prog.functions[h].blocks) {
+            if (b.term == BlockTerm::Call)
+                EXPECT_GE(b.callee, lib_first);
+        }
+    }
+}
+
+TEST(Generator, RootsAreLayerZeroAndDistinct)
+{
+    const WorkloadParams p = smallParams();
+    const Program prog = WorkloadGenerator::build(p);
+    std::set<std::uint32_t> roots(prog.transactionRoots.begin(),
+                                  prog.transactionRoots.end());
+    EXPECT_EQ(roots.size(), prog.transactionRoots.size());
+    for (std::uint32_t r : prog.transactionRoots)
+        EXPECT_EQ((r - 1) % p.callLayers, 0u);
+}
+
+TEST(Generator, LoopsNeverOverlap)
+{
+    const Program prog = WorkloadGenerator::build(smallParams());
+    for (const Function &fn : prog.functions) {
+        std::vector<int> cover(fn.blocks.size(), 0);
+        for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+            if (fn.blocks[b].term != BlockTerm::LoopBranch)
+                continue;
+            for (std::size_t k = fn.blocks[b].targetBlock; k <= b; ++k)
+                ++cover[k];
+        }
+        for (int c : cover)
+            EXPECT_LE(c, 1);
+    }
+}
+
+TEST(Generator, FunctionSizesRespectCap)
+{
+    WorkloadParams p = smallParams();
+    p.maxFnBlocks = 16;
+    const Program prog = WorkloadGenerator::build(p);
+    for (const Function &fn : prog.functions) {
+        const Addr blocks =
+            (fn.end() - fn.entry + blockBytes - 1) / blockBytes;
+        EXPECT_LE(blocks, 17u);  // cap plus alignment slack
+    }
+}
+
+TEST(ServerSuite, AllSixPresetsBuild)
+{
+    for (ServerWorkload w : allServerWorkloads()) {
+        const Program prog =
+            WorkloadGenerator::build(workloadParams(w));
+        // Multi-hundred-KB static footprints, per the paper's premise
+        // that instruction working sets dwarf the 64KB L1-I.
+        EXPECT_GT(prog.footprintBytes(), 512u * 1024)
+            << workloadName(w);
+        EXPECT_FALSE(prog.handlers.empty());
+    }
+}
+
+TEST(ServerSuite, NamesAndGroups)
+{
+    EXPECT_EQ(workloadName(ServerWorkload::OltpDb2), "DB2");
+    EXPECT_EQ(workloadGroup(ServerWorkload::OltpDb2), "OLTP");
+    EXPECT_EQ(workloadGroup(ServerWorkload::DssQry17), "DSS");
+    EXPECT_EQ(workloadGroup(ServerWorkload::WebZeus), "Web");
+    EXPECT_EQ(allServerWorkloads().size(), 6u);
+}
+
+TEST(ServerSuite, SeedOffsetChangesProgram)
+{
+    const Program a = WorkloadGenerator::build(
+        workloadParams(ServerWorkload::OltpDb2, 0));
+    const Program b = WorkloadGenerator::build(
+        workloadParams(ServerWorkload::OltpDb2, 1));
+    EXPECT_NE(a.codeEnd, b.codeEnd);
+}
+
+} // namespace
+} // namespace pifetch

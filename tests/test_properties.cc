@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Cross-module property sweeps: invariants that must hold for any
+ * seed and any workload shape, exercised over a parameter grid.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "pif/pif_prefetcher.hh"
+#include "sim/trace_engine.hh"
+#include "sim/workloads.hh"
+#include "trace/generator.hh"
+
+namespace pifetch {
+namespace {
+
+WorkloadParams
+gridParams(std::uint64_t seed, unsigned layers, double app_calls)
+{
+    WorkloadParams p;
+    p.name = "grid";
+    p.seed = seed;
+    p.appFunctions = 300;
+    p.libFunctions = 60;
+    p.handlers = 4;
+    p.callLayers = layers;
+    p.meanAppCalls = app_calls;
+    p.transactions = 4;
+    p.interruptRate = 5e-5;
+    return p;
+}
+
+/** (seed, callLayers, meanAppCalls) grid. */
+class WorkloadGrid
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, unsigned, double>>
+{
+  protected:
+    WorkloadParams
+    params() const
+    {
+        const auto [seed, layers, calls] = GetParam();
+        return gridParams(seed, layers, calls);
+    }
+};
+
+TEST_P(WorkloadGrid, ProgramValidatesAndExecutes)
+{
+    const Program prog = WorkloadGenerator::build(params());
+    ExecutorConfig ec;
+    ec.seed = std::get<0>(GetParam()) ^ 0xabc;
+    ec.interruptRate = params().interruptRate;
+    Executor exec(prog, ec);
+
+    RetiredInstr prev = exec.next();
+    for (int i = 0; i < 60'000; ++i) {
+        const RetiredInstr cur = exec.next();
+        if (cur.trapLevel == prev.trapLevel)
+            ASSERT_EQ(cur.pc, prev.nextPc()) << "at " << i;
+        ASSERT_LE(cur.trapLevel, 1);
+        ASSERT_LT(cur.pc, prog.codeEnd);
+        prev = cur;
+    }
+}
+
+TEST_P(WorkloadGrid, PifNeverIncreasesMisses)
+{
+    const Program prog = WorkloadGenerator::build(params());
+    ExecutorConfig ec;
+    ec.seed = std::get<0>(GetParam()) ^ 0xdef;
+    ec.interruptRate = params().interruptRate;
+
+    SystemConfig cfg;
+    cfg.l1i.sizeBytes = 16 * 1024;  // small: force pressure
+
+    TraceEngine base(cfg, prog, ec, std::make_unique<NullPrefetcher>());
+    const TraceRunResult rb = base.run(100'000, 200'000);
+
+    TraceEngine pif(cfg, prog, ec,
+                    std::make_unique<PifPrefetcher>(cfg.pif));
+    const TraceRunResult rp = pif.run(100'000, 200'000);
+
+    // The access stream is identical; PIF may only convert misses to
+    // hits (pollution can steal a few back, hence the 10% slack).
+    EXPECT_EQ(rb.accesses, rp.accesses);
+    EXPECT_LT(rp.misses, rb.misses + rb.misses / 10 + 50);
+}
+
+TEST_P(WorkloadGrid, CompactionNeverLosesBlocks)
+{
+    // Every block that retires must be covered by the union of the
+    // regions PIF records (trigger or set neighbour bit), so replay
+    // can in principle prefetch everything.
+    const Program prog = WorkloadGenerator::build(params());
+    ExecutorConfig ec;
+    ec.seed = std::get<0>(GetParam());
+    ec.interruptRate = 0.0;
+    Executor exec(prog, ec);
+
+    SpatialCompactor compactor(2, 5);
+    std::vector<SpatialRegion> recs;
+    std::vector<Addr> blocks;
+    Addr last = invalidAddr;
+    for (int i = 0; i < 50'000; ++i) {
+        const RetiredInstr r = exec.next();
+        const Addr b = blockAddr(r.pc);
+        if (b != last) {
+            last = b;
+            blocks.push_back(b);
+        }
+        if (auto rec = compactor.observe(r.pc, true, r.trapLevel))
+            recs.push_back(*rec);
+    }
+    if (auto rec = compactor.flush())
+        recs.push_back(*rec);
+
+    std::unordered_set<Addr> covered;
+    for (const SpatialRegion &rec : recs) {
+        const Addr t = rec.triggerBlock();
+        covered.insert(t);
+        for (unsigned i = 0; i < 32; ++i) {
+            if (rec.bits & (std::uint32_t{1} << i))
+                covered.insert(t + SpatialRegion::offsetOf(i, 2));
+        }
+    }
+    for (Addr b : blocks)
+        ASSERT_TRUE(covered.count(b)) << "block " << b << " lost";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WorkloadGrid,
+    ::testing::Combine(::testing::Values(1u, 42u, 1337u),
+                       ::testing::Values(4u, 8u, 12u),
+                       ::testing::Values(1.5, 2.0)));
+
+} // namespace
+} // namespace pifetch

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Region analyzer tests (Figure 3 / Figure 8-left machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pif/region_analyzer.hh"
+
+namespace pifetch {
+namespace {
+
+Addr
+pcOf(Addr block, unsigned i = 0)
+{
+    return blockBase(block) + i * instrBytes;
+}
+
+TEST(RegionAnalyzer, SingleBlockRegionHasDensityOne)
+{
+    RegionAnalyzer a(4, 27);
+    a.observe(pcOf(100));
+    a.observe(pcOf(1000));  // closes the first region
+    a.finish();
+    EXPECT_EQ(a.regions(), 2u);
+    EXPECT_DOUBLE_EQ(a.density().weightAt(0), 2.0);  // range "1"
+}
+
+TEST(RegionAnalyzer, DensityCountsUniqueBlocks)
+{
+    RegionAnalyzer a(4, 27);
+    a.observe(pcOf(100));
+    a.observe(pcOf(101));
+    a.observe(pcOf(100, 5));  // revisit: not double counted
+    a.observe(pcOf(102));
+    a.finish();
+    EXPECT_EQ(a.regions(), 1u);
+    EXPECT_DOUBLE_EQ(a.density().weightAt(2), 1.0);  // range "3-4"
+}
+
+TEST(RegionAnalyzer, GroupsCountContiguousRuns)
+{
+    RegionAnalyzer a(4, 27);
+    a.observe(pcOf(100));
+    a.observe(pcOf(101));
+    a.observe(pcOf(104));  // gap at 102-103: second group
+    a.finish();
+    EXPECT_DOUBLE_EQ(a.groups().weightAt(1), 1.0);  // range "2"
+}
+
+TEST(RegionAnalyzer, OffsetsExcludeTrigger)
+{
+    RegionAnalyzer a(4, 12);
+    a.observe(pcOf(100));
+    a.observe(pcOf(101));
+    a.observe(pcOf(99));
+    a.finish();
+    EXPECT_DOUBLE_EQ(a.offsets().weightAt(1), 1.0);
+    EXPECT_DOUBLE_EQ(a.offsets().weightAt(-1), 1.0);
+    EXPECT_DOUBLE_EQ(a.offsets().weightAt(2), 0.0);
+    EXPECT_DOUBLE_EQ(a.offsets().totalWeight(), 2.0);
+}
+
+TEST(RegionAnalyzer, OutOfWindowAccessOpensNewRegion)
+{
+    RegionAnalyzer a(2, 5);
+    a.observe(pcOf(100));
+    a.observe(pcOf(106));  // +6: outside (2,5) window
+    a.finish();
+    EXPECT_EQ(a.regions(), 2u);
+}
+
+TEST(RegionAnalyzer, SameBlockCollapse)
+{
+    RegionAnalyzer a(2, 5);
+    a.observe(pcOf(100, 0));
+    a.observe(pcOf(100, 1));
+    a.observe(pcOf(100, 2));
+    a.finish();
+    EXPECT_EQ(a.regions(), 1u);
+    EXPECT_DOUBLE_EQ(a.density().weightAt(0), 1.0);
+}
+
+TEST(RegionAnalyzer, FinishIsIdempotent)
+{
+    RegionAnalyzer a(2, 5);
+    a.observe(pcOf(1));
+    a.finish();
+    a.finish();
+    EXPECT_EQ(a.regions(), 1u);
+}
+
+TEST(RegionAnalyzer, LoopWithinRegionStaysOneRegion)
+{
+    RegionAnalyzer a(2, 5);
+    for (int i = 0; i < 100; ++i) {
+        a.observe(pcOf(100));
+        a.observe(pcOf(101));
+    }
+    a.finish();
+    EXPECT_EQ(a.regions(), 1u);
+    EXPECT_DOUBLE_EQ(a.density().weightAt(1), 1.0);  // density 2
+}
+
+} // namespace
+} // namespace pifetch

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Replacement policy tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/replacement.hh"
+
+namespace pifetch {
+namespace {
+
+TEST(LruPolicy, VictimIsLeastRecentlyTouched)
+{
+    LruPolicy lru(1, 4);
+    lru.touch(0, 0);
+    lru.touch(0, 1);
+    lru.touch(0, 2);
+    lru.touch(0, 3);
+    lru.touch(0, 0);  // refresh way 0
+    EXPECT_EQ(lru.victim(0), 1u);
+}
+
+TEST(LruPolicy, SetsAreIndependent)
+{
+    LruPolicy lru(2, 2);
+    lru.touch(0, 0);
+    lru.touch(0, 1);
+    lru.touch(1, 1);
+    lru.touch(1, 0);
+    EXPECT_EQ(lru.victim(0), 0u);
+    EXPECT_EQ(lru.victim(1), 1u);
+}
+
+TEST(LruPolicy, ResetForgetsHistory)
+{
+    LruPolicy lru(1, 2);
+    lru.touch(0, 1);
+    lru.reset();
+    // After reset both stamps are zero; way 0 (first minimum) wins.
+    EXPECT_EQ(lru.victim(0), 0u);
+}
+
+TEST(RandomPolicy, DeterministicForSeed)
+{
+    RandomPolicy a(1, 8, 99);
+    RandomPolicy b(1, 8, 99);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(a.victim(0), b.victim(0));
+}
+
+TEST(RandomPolicy, CoversAllWays)
+{
+    RandomPolicy p(1, 4, 7);
+    bool seen[4] = {false, false, false, false};
+    for (int i = 0; i < 200; ++i)
+        seen[p.victim(0)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(RandomPolicy, ResetRestartsSequence)
+{
+    RandomPolicy p(1, 8, 123);
+    std::vector<unsigned> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(p.victim(0));
+    p.reset();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(p.victim(0), first[static_cast<size_t>(i)]);
+}
+
+TEST(MakeReplacement, FactoryProducesRequestedKinds)
+{
+    auto lru = makeReplacement(ReplacementKind::LRU, 4, 2);
+    auto rnd = makeReplacement(ReplacementKind::Random, 4, 2);
+    EXPECT_NE(dynamic_cast<LruPolicy *>(lru.get()), nullptr);
+    EXPECT_NE(dynamic_cast<RandomPolicy *>(rnd.get()), nullptr);
+}
+
+} // namespace
+} // namespace pifetch

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Deterministic RNG tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace pifetch {
+namespace {
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(1234);
+    Rng b(1234);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(7);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = r.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricAtLeastOneAndNearMean)
+{
+    Rng r(19);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const auto v = r.geometric(8.0);
+        ASSERT_GE(v, 1u);
+        sum += static_cast<double>(v);
+    }
+    EXPECT_NEAR(sum / n, 8.0, 0.5);
+}
+
+TEST(Rng, GeometricMeanOneDegenerates)
+{
+    Rng r(23);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.geometric(1.0), 1u);
+}
+
+TEST(Rng, ZipfStaysInRange)
+{
+    Rng r(29);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(r.zipf(100, 0.8), 100u);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks)
+{
+    Rng r(31);
+    int low = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        low += r.zipf(1000, 0.9) < 100 ? 1 : 0;
+    // Under uniform sampling only 10% would land below rank 100.
+    EXPECT_GT(low, n / 4);
+}
+
+TEST(Rng, ZipfSingletonIsZero)
+{
+    Rng r(37);
+    EXPECT_EQ(r.zipf(1, 0.8), 0u);
+}
+
+/** Property: higher skew concentrates more mass on low ranks. */
+class ZipfSkewProperty : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfSkewProperty, MassBelowMedianGrowsWithSkew)
+{
+    const double s = GetParam();
+    Rng r(41);
+    int below = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        below += r.zipf(500, s) < 250 ? 1 : 0;
+    // Any positive skew gives more than half the mass to low ranks.
+    EXPECT_GT(below, n / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewProperty,
+                         ::testing::Values(0.3, 0.5, 0.75, 0.9));
+
+} // namespace
+} // namespace pifetch

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Statistics infrastructure tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+namespace pifetch {
+namespace {
+
+TEST(Counter, StartsAtZeroAndIncrements)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+}
+
+TEST(Counter, ResetZeroes)
+{
+    Counter c;
+    c += 42;
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(StatGroup, DumpIncludesNameValueAndDescription)
+{
+    StatGroup g("l1i");
+    Counter hits(g, "hits", "demand hits");
+    ++hits;
+    ++hits;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("l1i.hits 2"), std::string::npos);
+    EXPECT_NE(os.str().find("demand hits"), std::string::npos);
+}
+
+TEST(StatGroup, ResetAllClearsEveryCounter)
+{
+    StatGroup g("x");
+    Counter a(g, "a", "");
+    Counter b(g, "b", "");
+    a += 3;
+    b += 4;
+    g.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(Ratio, HandlesZeroDenominator)
+{
+    EXPECT_DOUBLE_EQ(ratio(5, 0), 0.0);
+    EXPECT_DOUBLE_EQ(ratio(1, 2), 0.5);
+}
+
+TEST(Percent, Formats)
+{
+    EXPECT_EQ(percent(0.5), "50.00%");
+    EXPECT_EQ(percent(0.999), "99.90%");
+    EXPECT_EQ(percent(0.0), "0.00%");
+}
+
+} // namespace
+} // namespace pifetch

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Storage-cost model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pif/storage.hh"
+
+namespace pifetch {
+namespace {
+
+TEST(Storage, RegionRecordBits)
+{
+    PifConfig cfg;  // 2 + 5 neighbours
+    // 40-bit PC + 7 neighbour bits + tag bit.
+    EXPECT_EQ(regionRecordBits(cfg, 40), 48u);
+}
+
+TEST(Storage, HistoryDominates)
+{
+    const PifConfig cfg;
+    const PifStorage s = computePifStorage(cfg);
+    EXPECT_GT(s.historyBits, s.indexBits);
+    EXPECT_GT(s.historyBits, s.sabBits);
+    EXPECT_GT(s.historyBits, s.compactorBits);
+    // 32K records x 48 bits = 1.5 Mbit = 192 KiB of history — the
+    // "considerable chip real-estate" of Section 5.4.
+    EXPECT_EQ(s.historyBits, 32u * 1024 * 48);
+    EXPECT_NEAR(s.totalKiB(), 192.0, 72.0);
+}
+
+TEST(Storage, GrowsWithRegionWidth)
+{
+    PifConfig narrow;
+    narrow.blocksBefore = 0;
+    narrow.blocksAfter = 0;
+    PifConfig wide;
+    wide.blocksBefore = 2;
+    wide.blocksAfter = 5;
+    EXPECT_LT(computePifStorage(narrow).totalBits(),
+              computePifStorage(wide).totalBits());
+}
+
+TEST(Storage, ScalesLinearlyWithHistoryCapacity)
+{
+    PifConfig small_cfg;
+    small_cfg.historyRegions = 2048;
+    PifConfig big_cfg;
+    big_cfg.historyRegions = 4096;
+    const std::uint64_t small_hist =
+        computePifStorage(small_cfg).historyBits;
+    const std::uint64_t big_hist =
+        computePifStorage(big_cfg).historyBits;
+    EXPECT_EQ(big_hist, 2 * small_hist);
+}
+
+TEST(Storage, PifCompactionBeatsTifsPerEntry)
+{
+    // At equal stream-capacity (32K regions vs 32K block addresses),
+    // a PIF record covers up to 8 blocks while a TIFS entry covers
+    // one, so PIF stores far more reach per bit. Compare reach/bits.
+    const PifConfig pif;
+    const TifsConfig tifs;
+    const double pif_blocks_per_bit =
+        static_cast<double>(pif.historyRegions * pif.regionBlocks()) /
+        static_cast<double>(computePifStorage(pif).historyBits);
+    const double tifs_blocks_per_bit =
+        static_cast<double>(tifs.historyEntries) /
+        static_cast<double>(tifs.historyEntries * 34);
+    EXPECT_GT(pif_blocks_per_bit, 2.0 * tifs_blocks_per_bit);
+}
+
+TEST(Storage, CombinedTrapChainIsCheaper)
+{
+    PifConfig sep;
+    sep.separateTrapLevels = true;
+    PifConfig combined = sep;
+    combined.separateTrapLevels = false;
+    EXPECT_LT(computePifStorage(combined).compactorBits,
+              computePifStorage(sep).compactorBits);
+}
+
+TEST(Storage, TifsTotalIsPositiveAndHistoryDominated)
+{
+    const TifsConfig cfg;
+    const std::uint64_t total = tifsStorageBits(cfg);
+    EXPECT_GT(total, cfg.historyEntries * 34);
+    EXPECT_LT(total, 2 * cfg.historyEntries * 34);
+}
+
+} // namespace
+} // namespace pifetch

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Timing model tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cycle_core.hh"
+
+namespace pifetch {
+namespace {
+
+CoreConfig
+quietCore()
+{
+    CoreConfig cfg;
+    cfg.dataStallFraction = 0.0;  // deterministic tests
+    return cfg;
+}
+
+TEST(TimingModel, DispatchWidthPacksInstructions)
+{
+    TimingModel t(quietCore(), 1);
+    for (int i = 0; i < 9; ++i)
+        t.instruction(0);
+    // 9 instructions at 3-wide dispatch = 3 cycles.
+    EXPECT_EQ(t.cycles(), 3u);
+    EXPECT_EQ(t.instructions(), 9u);
+}
+
+TEST(TimingModel, UserInstructionsExcludeTrapLevelOne)
+{
+    TimingModel t(quietCore(), 1);
+    t.instruction(0);
+    t.instruction(1);
+    t.instruction(0);
+    EXPECT_EQ(t.instructions(), 3u);
+    EXPECT_EQ(t.userInstructions(), 2u);
+}
+
+TEST(TimingModel, FetchStallAddsExposedLatency)
+{
+    TimingModel t(quietCore(), 1);
+    const Cycle before = t.cycles();
+    t.fetchStall(20);
+    EXPECT_GT(t.cycles(), before);
+    EXPECT_GT(t.fetchStallCycles(), 0u);
+    // Part of the latency is hidden by ROB buffering.
+    EXPECT_LT(t.fetchStallCycles(), 20u);
+}
+
+TEST(TimingModel, ShortStallFullyHidden)
+{
+    TimingModel t(quietCore(), 1);
+    t.fetchStall(1);
+    EXPECT_EQ(t.fetchStallCycles(), 0u);
+}
+
+TEST(TimingModel, MispredictChargesBoundedPenalty)
+{
+    CoreConfig cfg = quietCore();
+    TimingModel t(cfg, 1);
+    for (int i = 0; i < 100; ++i)
+        t.mispredict();
+    const Cycle max_each = cfg.frontendDepth + cfg.maxResolveCycles;
+    EXPECT_GT(t.branchPenaltyCycles(), 100u * cfg.frontendDepth);
+    EXPECT_LE(t.branchPenaltyCycles(), 100u * max_each);
+}
+
+TEST(TimingModel, UipcReflectsStalls)
+{
+    TimingModel a(quietCore(), 1);
+    TimingModel b(quietCore(), 1);
+    for (int i = 0; i < 3000; ++i) {
+        a.instruction(0);
+        b.instruction(0);
+    }
+    b.fetchStall(1000);
+    EXPECT_GT(a.uipc(), b.uipc());
+    EXPECT_NEAR(a.uipc(), 3.0, 0.01);
+}
+
+TEST(TimingModel, ResetStatsZeroesEverything)
+{
+    TimingModel t(quietCore(), 1);
+    t.instruction(0);
+    t.fetchStall(50);
+    t.mispredict();
+    t.resetStats();
+    EXPECT_EQ(t.cycles(), 0u);
+    EXPECT_EQ(t.instructions(), 0u);
+    EXPECT_EQ(t.fetchStallCycles(), 0u);
+    EXPECT_EQ(t.branchPenaltyCycles(), 0u);
+    EXPECT_DOUBLE_EQ(t.uipc(), 0.0);
+}
+
+TEST(TimingModel, DataStallsSlowRetirement)
+{
+    CoreConfig stalling = quietCore();
+    stalling.dataStallFraction = 0.5;
+    TimingModel with(stalling, 1);
+    TimingModel without(quietCore(), 1);
+    for (int i = 0; i < 10000; ++i) {
+        with.instruction(0);
+        without.instruction(0);
+    }
+    EXPECT_GT(with.cycles(), without.cycles() * 2);
+}
+
+} // namespace
+} // namespace pifetch

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Trace file I/O tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "trace/trace_io.hh"
+
+namespace pifetch {
+namespace {
+
+std::vector<RetiredInstr>
+sampleTrace()
+{
+    std::vector<RetiredInstr> t;
+    RetiredInstr a;
+    a.pc = 0x1000;
+    a.kind = InstrKind::Plain;
+    t.push_back(a);
+
+    RetiredInstr b;
+    b.pc = 0x1004;
+    b.kind = InstrKind::CondBranch;
+    b.target = 0x2000;
+    b.taken = true;
+    t.push_back(b);
+
+    RetiredInstr c;
+    c.pc = 0x2000;
+    c.kind = InstrKind::Return;
+    c.target = 0x1008;
+    c.taken = true;
+    c.trapLevel = 1;
+    t.push_back(c);
+    return t;
+}
+
+class TraceIoTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = ::testing::TempDir() + "pifetch_trace_test.bin";
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+TEST_F(TraceIoTest, RoundTripPreservesAllFields)
+{
+    const auto original = sampleTrace();
+    ASSERT_TRUE(writeTrace(path_, original));
+
+    std::vector<RetiredInstr> replay;
+    ASSERT_TRUE(readTrace(path_, replay));
+    ASSERT_EQ(replay.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(replay[i].pc, original[i].pc);
+        EXPECT_EQ(replay[i].target, original[i].target);
+        EXPECT_EQ(replay[i].kind, original[i].kind);
+        EXPECT_EQ(replay[i].taken, original[i].taken);
+        EXPECT_EQ(replay[i].trapLevel, original[i].trapLevel);
+    }
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrips)
+{
+    ASSERT_TRUE(writeTrace(path_, {}));
+    std::vector<RetiredInstr> replay = sampleTrace();
+    ASSERT_TRUE(readTrace(path_, replay));
+    EXPECT_TRUE(replay.empty());
+}
+
+TEST_F(TraceIoTest, MissingFileFails)
+{
+    std::vector<RetiredInstr> replay;
+    EXPECT_FALSE(readTrace(path_ + ".nope", replay));
+}
+
+TEST_F(TraceIoTest, BadMagicRejected)
+{
+    std::FILE *f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[32] = "this is not a pifetch trace";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+
+    std::vector<RetiredInstr> replay;
+    EXPECT_FALSE(readTrace(path_, replay));
+}
+
+TEST_F(TraceIoTest, TruncatedFileRejected)
+{
+    ASSERT_TRUE(writeTrace(path_, sampleTrace()));
+    // Truncate mid-record.
+    std::FILE *f = std::fopen(path_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(0, truncate(path_.c_str(), size - 10));
+
+    std::vector<RetiredInstr> replay;
+    EXPECT_FALSE(readTrace(path_, replay));
+}
+
+TEST_F(TraceIoTest, LargeTraceRoundTrips)
+{
+    std::vector<RetiredInstr> big;
+    big.reserve(100000);
+    for (Addr i = 0; i < 100000; ++i) {
+        RetiredInstr r;
+        r.pc = i * 4;
+        r.kind = (i % 7 == 0) ? InstrKind::Call : InstrKind::Plain;
+        r.target = (i % 7 == 0) ? i * 8 : invalidAddr;
+        big.push_back(r);
+    }
+    ASSERT_TRUE(writeTrace(path_, big));
+    std::vector<RetiredInstr> replay;
+    ASSERT_TRUE(readTrace(path_, replay));
+    ASSERT_EQ(replay.size(), big.size());
+    EXPECT_EQ(replay[99999].pc, big[99999].pc);
+}
+
+} // namespace
+} // namespace pifetch
