@@ -1,0 +1,80 @@
+# Resolve a gtest-compatible test framework, preferring real
+# GoogleTest but never requiring network access.
+#
+# Defines:
+#   pifetch_testmain        INTERFACE target: framework headers, libs,
+#                           and a main() for gtest-style suites
+#   PIFETCH_TEST_FRAMEWORK  "system-gtest" | "fetched-gtest" | "minitest"
+#
+# Resolution order (first hit wins):
+#   1. PIFETCH_FORCE_MINITEST=ON  -> vendored tests/minitest.hh
+#   2. find_package(GTest)        -> installed GoogleTest
+#   3. FetchContent GoogleTest    -> only if PIFETCH_ALLOW_FETCHCONTENT
+#                                    and a quick connectivity probe
+#                                    succeeds (so offline configures
+#                                    fall through instead of failing)
+#   4. vendored tests/minitest.hh -> always works, no dependencies
+
+set(PIFETCH_TEST_FRAMEWORK "")
+
+if (NOT PIFETCH_FORCE_MINITEST)
+  find_package(GTest QUIET)
+  if (GTest_FOUND)
+    add_library(pifetch_testmain INTERFACE)
+    target_link_libraries(pifetch_testmain INTERFACE
+      GTest::gtest GTest::gtest_main)
+    set(PIFETCH_TEST_FRAMEWORK "system-gtest")
+  endif()
+endif()
+
+if (NOT PIFETCH_TEST_FRAMEWORK AND NOT PIFETCH_FORCE_MINITEST
+    AND PIFETCH_ALLOW_FETCHCONTENT)
+  # Cheap connectivity probe; FetchContent aborts the configure on
+  # download failure, which would leave offline machines broken. The
+  # result is cached so reconfigures don't re-pay the offline timeout.
+  if (NOT DEFINED PIFETCH_NET_PROBE_RESULT)
+    file(DOWNLOAD "https://github.com"
+      "${CMAKE_CURRENT_BINARY_DIR}/pifetch_net_probe"
+      TIMEOUT 10 INACTIVITY_TIMEOUT 10 STATUS pifetch_net_status)
+    list(GET pifetch_net_status 0 pifetch_net_code)
+    file(REMOVE "${CMAKE_CURRENT_BINARY_DIR}/pifetch_net_probe")
+    set(PIFETCH_NET_PROBE_RESULT "${pifetch_net_code}" CACHE INTERNAL
+      "Cached connectivity probe exit code (0 = online)")
+  endif()
+  if (PIFETCH_NET_PROBE_RESULT EQUAL 0)
+    include(FetchContent)
+    FetchContent_Declare(googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+      URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+      DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+    FetchContent_MakeAvailable(googletest)
+    add_library(pifetch_testmain INTERFACE)
+    target_link_libraries(pifetch_testmain INTERFACE gtest gtest_main)
+    set(PIFETCH_TEST_FRAMEWORK "fetched-gtest")
+  endif()
+endif()
+
+if (NOT PIFETCH_TEST_FRAMEWORK)
+  # Vendored single-header fallback: tests/minitest/gtest/gtest.h
+  # redirects <gtest/gtest.h> to tests/minitest.hh, and
+  # tests/minitest_main.cc supplies the auto-main.
+  add_library(pifetch_minitest_main STATIC
+    ${CMAKE_CURRENT_SOURCE_DIR}/tests/minitest_main.cc)
+  target_include_directories(pifetch_minitest_main PUBLIC
+    ${CMAKE_CURRENT_SOURCE_DIR}/tests/minitest)
+  target_link_libraries(pifetch_minitest_main PRIVATE pifetch_warnings)
+  add_library(pifetch_testmain INTERFACE)
+  target_link_libraries(pifetch_testmain INTERFACE pifetch_minitest_main)
+  set(PIFETCH_TEST_FRAMEWORK "minitest")
+endif()
+
+message(STATUS "pifetch: test framework: ${PIFETCH_TEST_FRAMEWORK}")
+
+# CI (and anyone pinning a path) can assert which framework resolved,
+# so a silent fallback can't masquerade as coverage of the real one.
+if (PIFETCH_REQUIRE_TEST_FRAMEWORK AND
+    NOT PIFETCH_TEST_FRAMEWORK STREQUAL PIFETCH_REQUIRE_TEST_FRAMEWORK)
+  message(FATAL_ERROR "pifetch: resolved test framework "
+    "'${PIFETCH_TEST_FRAMEWORK}' but PIFETCH_REQUIRE_TEST_FRAMEWORK="
+    "'${PIFETCH_REQUIRE_TEST_FRAMEWORK}'")
+endif()

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# One-shot tier-1 verify, exactly as ROADMAP.md states it:
+#   cmake -B build -S . && cmake --build build -j && \
+#   cd build && ctest --output-on-failure -j
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . && cmake --build build -j && cd build && \
+    ctest --output-on-failure -j

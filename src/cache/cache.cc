@@ -5,7 +5,7 @@
 
 #include "cache/cache.hh"
 
-#include <bit>
+#include "common/bitops.hh"
 
 namespace pifetch {
 
@@ -28,7 +28,7 @@ Cache::Cache(const CacheConfig &cfg, ReplacementKind repl,
                    "of two (size/assoc/block mismatch)");
     if (ways_ == 0)
         fatalError("cache '" + cfg.name + "': associativity must be >= 1");
-    setShift_ = static_cast<unsigned>(std::countr_zero(sets_));
+    setShift_ = static_cast<unsigned>(bits::countrZero(sets_));
     lines_.resize(sets_ * ways_);
     repl_ = makeReplacement(repl, sets_, ways_, seed);
 }

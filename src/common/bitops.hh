@@ -1,0 +1,40 @@
+/**
+ * @file
+ * C++17 replacements for the C++20 <bit> helpers used across the
+ * codebase (the library builds with -std=c++17, where std::popcount
+ * and friends are unavailable).
+ */
+
+#ifndef PIFETCH_COMMON_BITOPS_HH
+#define PIFETCH_COMMON_BITOPS_HH
+
+#include <cstdint>
+
+namespace pifetch {
+namespace bits {
+
+/** Number of set bits in @p v. */
+constexpr int
+popcount(std::uint64_t v) noexcept
+{
+    return __builtin_popcountll(v);
+}
+
+/** Leading-zero count over 64 bits; 64 when @p v == 0. */
+constexpr int
+countlZero(std::uint64_t v) noexcept
+{
+    return v == 0 ? 64 : __builtin_clzll(v);
+}
+
+/** Trailing-zero count over 64 bits; 64 when @p v == 0. */
+constexpr int
+countrZero(std::uint64_t v) noexcept
+{
+    return v == 0 ? 64 : __builtin_ctzll(v);
+}
+
+} // namespace bits
+} // namespace pifetch
+
+#endif // PIFETCH_COMMON_BITOPS_HH

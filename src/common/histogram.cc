@@ -6,7 +6,7 @@
 #include "common/histogram.hh"
 
 #include <algorithm>
-#include <bit>
+#include "common/bitops.hh"
 
 #include "common/types.hh"
 
@@ -22,7 +22,7 @@ Log2Histogram::add(std::uint64_t value, double weight)
 {
     unsigned b = 0;
     if (value > 1)
-        b = 63 - static_cast<unsigned>(std::countl_zero(value));
+        b = 63 - static_cast<unsigned>(bits::countlZero(value));
     if (b >= w_.size())
         b = static_cast<unsigned>(w_.size()) - 1;
     w_[b] += weight;

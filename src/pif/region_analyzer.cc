@@ -5,7 +5,7 @@
 
 #include "pif/region_analyzer.hh"
 
-#include <bit>
+#include "common/bitops.hh"
 
 namespace pifetch {
 
@@ -31,7 +31,7 @@ RegionAnalyzer::closeRegion()
 
     // Density: unique accessed blocks including the trigger.
     const unsigned density = static_cast<unsigned>(
-        std::popcount(mask_));
+        bits::popcount(mask_));
     density_.add(density);
 
     // Groups: contiguous runs of set bits across the window.

@@ -5,7 +5,7 @@
 
 #include "pif/storage.hh"
 
-#include <bit>
+#include "common/bitops.hh"
 
 namespace pifetch {
 
@@ -17,7 +17,7 @@ bitsFor(std::uint64_t n)
 {
     if (n <= 1)
         return 1;
-    return 64 - static_cast<unsigned>(std::countl_zero(n - 1));
+    return 64 - static_cast<unsigned>(bits::countlZero(n - 1));
 }
 
 } // namespace

@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Shim so `#include <gtest/gtest.h>` resolves to the vendored
+ * minitest framework when the build selects the offline fallback
+ * (see cmake/TestFramework.cmake).
+ */
+
+#ifndef PIFETCH_TESTS_MINITEST_GTEST_SHIM_H
+#define PIFETCH_TESTS_MINITEST_GTEST_SHIM_H
+
+#include "../../minitest.hh"
+
+#endif // PIFETCH_TESTS_MINITEST_GTEST_SHIM_H

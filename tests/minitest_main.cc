@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Auto-main for the minitest fallback framework — the counterpart of
+ * GoogleTest's gtest_main library.
+ */
+
+#include <gtest/gtest.h>
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -142,8 +142,9 @@ TEST(Executor, InterruptsEnterTrapLevelOneAndReturn)
             EXPECT_EQ(cur.trapLevel, 0);
         }
         // Trap entry: level rises without a control instruction.
-        if (cur.trapLevel > prev.trapLevel)
+        if (cur.trapLevel > prev.trapLevel) {
             EXPECT_EQ(cur.pc, prog.functions[3].entry);
+        }
         prev = cur;
     }
     EXPECT_TRUE(saw_handler);

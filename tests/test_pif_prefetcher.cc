@@ -148,8 +148,9 @@ TEST(PifPrefetcher, TrapLevelsRecordSeparately)
     const HistoryBuffer &h1 = pif.history(1);
     EXPECT_GE(h1.tail(), 1u);
     for (std::uint64_t s = 0; s < h1.tail(); ++s) {
-        if (h1.valid(s))
+        if (h1.valid(s)) {
             EXPECT_EQ(h1.at(s).trapLevel, 1);
+        }
     }
 }
 

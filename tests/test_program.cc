@@ -156,8 +156,9 @@ TEST(Generator, HandlersCallOnlyLibrary)
         EXPECT_GE(h, handler_first);
         EXPECT_TRUE(prog.functions[h].isHandler);
         for (const BasicBlock &b : prog.functions[h].blocks) {
-            if (b.term == BlockTerm::Call)
+            if (b.term == BlockTerm::Call) {
                 EXPECT_GE(b.callee, lib_first);
+            }
         }
     }
 }

@@ -57,8 +57,9 @@ TEST_P(WorkloadGrid, ProgramValidatesAndExecutes)
     RetiredInstr prev = exec.next();
     for (int i = 0; i < 60'000; ++i) {
         const RetiredInstr cur = exec.next();
-        if (cur.trapLevel == prev.trapLevel)
+        if (cur.trapLevel == prev.trapLevel) {
             ASSERT_EQ(cur.pc, prev.nextPc()) << "at " << i;
+        }
         ASSERT_LE(cur.trapLevel, 1);
         ASSERT_LT(cur.pc, prog.codeEnd);
         prev = cur;

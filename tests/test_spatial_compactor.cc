@@ -177,8 +177,9 @@ TEST_P(CompactorGeometry, EmittedBitsRespectGeometry)
     ASSERT_FALSE(recs.empty());
     const unsigned width = before + after;
     for (const SpatialRegion &r : recs) {
-        if (width < 32)
+        if (width < 32) {
             EXPECT_EQ(r.bits >> width, 0u);
+        }
     }
 }
 

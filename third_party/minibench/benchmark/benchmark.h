@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Single-header, google-benchmark-compatible mini framework.
+ *
+ * Offline fallback used when the system google-benchmark package is
+ * unavailable (see the bench/ section of the root CMakeLists.txt).
+ * Implements the subset of the API the bench/ binaries use: State
+ * with range-for iteration, iterations()/range()/SetItemsProcessed/
+ * SetLabel/PauseTiming/ResumeTiming, BENCHMARK() with ->Arg()/
+ * ->Unit() chaining, Initialize/RunSpecifiedBenchmarks/Shutdown and
+ * DoNotOptimize. Timing is wall-clock with a short calibration loop;
+ * numbers are indicative, not publication-grade.
+ */
+
+#ifndef PIFETCH_THIRD_PARTY_MINIBENCH_BENCHMARK_H
+#define PIFETCH_THIRD_PARTY_MINIBENCH_BENCHMARK_H
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace benchmark {
+
+enum TimeUnit { kNanosecond, kMicrosecond, kMillisecond, kSecond };
+
+template <typename T>
+inline void
+DoNotOptimize(T &&value)
+{
+    asm volatile("" : : "g"(value) : "memory");
+}
+
+inline void
+ClobberMemory()
+{
+    asm volatile("" : : : "memory");
+}
+
+class State
+{
+  public:
+    State(std::int64_t iterations, std::vector<std::int64_t> args)
+        : max_(iterations), args_(std::move(args))
+    {
+    }
+
+    /** Non-trivial so `for (auto _ : state)` never warns as unused. */
+    struct Value {
+        Value() {}
+        ~Value() {}
+    };
+
+    struct iterator {
+        State *state;
+        std::int64_t remaining;
+
+        bool
+        operator!=(const iterator &other) const
+        {
+            return remaining != other.remaining;
+        }
+
+        void operator++() { --remaining; }
+        Value operator*() const { return Value(); }
+    };
+
+    iterator
+    begin()
+    {
+        start_ = Clock::now();
+        excluded_ = Duration::zero();
+        return {this, max_};
+    }
+
+    iterator
+    end()
+    {
+        return {this, 0};
+    }
+
+    std::int64_t iterations() const { return max_; }
+
+    std::int64_t
+    range(std::size_t i = 0) const
+    {
+        return i < args_.size() ? args_[i] : 0;
+    }
+
+    void SetItemsProcessed(std::int64_t n) { items_ = n; }
+    void SetLabel(const std::string &label) { label_ = label; }
+
+    void PauseTiming() { pauseStart_ = Clock::now(); }
+    void ResumeTiming() { excluded_ += Clock::now() - pauseStart_; }
+
+    /** Internal: measured seconds for the whole iteration loop. */
+    double
+    minibenchElapsedSeconds() const
+    {
+        const Duration d = Clock::now() - start_ - excluded_;
+        return std::chrono::duration<double>(d).count();
+    }
+
+    std::int64_t minibenchItems() const { return items_; }
+    const std::string &minibenchLabel() const { return label_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    using Duration = Clock::duration;
+
+    std::int64_t max_;
+    std::vector<std::int64_t> args_;
+    std::int64_t items_ = 0;
+    std::string label_;
+    Clock::time_point start_{};
+    Clock::time_point pauseStart_{};
+    Duration excluded_ = Duration::zero();
+};
+
+namespace internal {
+
+/** One registered benchmark function with its run configurations. */
+class Benchmark
+{
+  public:
+    using Fn = void (*)(State &);
+
+    Benchmark(std::string name, Fn fn) : name_(std::move(name)), fn_(fn) {}
+
+    Benchmark *
+    Arg(std::int64_t a)
+    {
+        argSets_.push_back({a});
+        return this;
+    }
+
+    Benchmark *
+    Args(std::vector<std::int64_t> as)
+    {
+        argSets_.push_back(std::move(as));
+        return this;
+    }
+
+    Benchmark *
+    DenseRange(std::int64_t lo, std::int64_t hi)
+    {
+        for (std::int64_t a = lo; a <= hi; ++a)
+            argSets_.push_back({a});
+        return this;
+    }
+
+    Benchmark *
+    Unit(TimeUnit unit)
+    {
+        unit_ = unit;
+        return this;
+    }
+
+    Benchmark *
+    Iterations(std::int64_t n)
+    {
+        fixedIterations_ = n;
+        return this;
+    }
+
+    void
+    run() const
+    {
+        const std::vector<std::vector<std::int64_t>> sets =
+            argSets_.empty() ? std::vector<std::vector<std::int64_t>>{{}}
+                             : argSets_;
+        for (const auto &args : sets) {
+            std::string name = name_;
+            for (std::int64_t a : args)
+                name += "/" + std::to_string(a);
+            runOne(name, args);
+        }
+    }
+
+  private:
+    void
+    runOne(const std::string &name, const std::vector<std::int64_t> &args)
+        const
+    {
+        // Calibrate: grow the iteration count until the loop runs for
+        // at least ~50 ms (or a fixed count was requested).
+        std::int64_t n = fixedIterations_ > 0 ? fixedIterations_ : 1;
+        double secs = 0.0;
+        std::int64_t items = 0;
+        std::string label;
+        for (;;) {
+            State st(n, args);
+            fn_(st);
+            secs = st.minibenchElapsedSeconds();
+            items = st.minibenchItems();
+            label = st.minibenchLabel();
+            if (fixedIterations_ > 0 || secs >= 0.05 || n >= (1 << 24))
+                break;
+            const double target = 0.075;
+            const double grow =
+                secs > 1e-9 ? target / secs : 1000.0;
+            const std::int64_t next =
+                static_cast<std::int64_t>(n * (grow < 2.0 ? 2.0 : grow));
+            n = next > n ? next : n + 1;
+        }
+
+        const double perIter = n > 0 ? secs / static_cast<double>(n) : 0.0;
+        double shown = perIter;
+        const char *suffix = "ns";
+        switch (unit_) {
+          case kNanosecond: shown = perIter * 1e9; suffix = "ns"; break;
+          case kMicrosecond: shown = perIter * 1e6; suffix = "us"; break;
+          case kMillisecond: shown = perIter * 1e3; suffix = "ms"; break;
+          case kSecond: suffix = "s"; break;
+        }
+        std::printf("%-44s %12.3f %s %10lld iters", name.c_str(), shown,
+                    suffix, static_cast<long long>(n));
+        if (items > 0 && secs > 0.0)
+            std::printf("  %10.2f M items/s",
+                        static_cast<double>(items) / secs / 1e6);
+        if (!label.empty())
+            std::printf("  %s", label.c_str());
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+
+    std::string name_;
+    Fn fn_;
+    std::vector<std::vector<std::int64_t>> argSets_;
+    TimeUnit unit_ = kNanosecond;
+    std::int64_t fixedIterations_ = 0;
+};
+
+inline std::vector<Benchmark *> &
+registry()
+{
+    static std::vector<Benchmark *> r;
+    return r;
+}
+
+inline Benchmark *
+RegisterBenchmarkInternal(const char *name, Benchmark::Fn fn)
+{
+    registry().push_back(new Benchmark(name, fn));
+    return registry().back();
+}
+
+} // namespace internal
+
+inline void
+Initialize(int *, char **)
+{
+    std::printf("minibench: offline google-benchmark fallback "
+                "(indicative timings only)\n");
+}
+
+inline std::size_t
+RunSpecifiedBenchmarks()
+{
+    for (const internal::Benchmark *b : internal::registry())
+        b->run();
+    return internal::registry().size();
+}
+
+inline void
+Shutdown()
+{
+}
+
+} // namespace benchmark
+
+#define MINIBENCH_CONCAT_(a, b) a##b
+#define MINIBENCH_NAME_(name, line) MINIBENCH_CONCAT_(name, line)
+
+#define BENCHMARK(fn)                                                         \
+    [[maybe_unused]] static ::benchmark::internal::Benchmark *MINIBENCH_NAME_(\
+        minibench_reg_##fn##_, __LINE__) =                                    \
+        ::benchmark::internal::RegisterBenchmarkInternal(#fn, fn)
+
+#define BENCHMARK_MAIN()                                                      \
+    int main(int argc, char **argv)                                           \
+    {                                                                         \
+        ::benchmark::Initialize(&argc, argv);                                 \
+        ::benchmark::RunSpecifiedBenchmarks();                                \
+        ::benchmark::Shutdown();                                              \
+        return 0;                                                             \
+    }
+
+#endif // PIFETCH_THIRD_PARTY_MINIBENCH_BENCHMARK_H
