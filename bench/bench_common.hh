@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/parallel.hh"
 #include "sim/experiment.hh"
 
 namespace pifetch {
@@ -48,6 +49,26 @@ inline InstCount
 analysisInstrs()
 {
     return static_cast<InstCount>(6'000'000 * scale());
+}
+
+/**
+ * Worker threads for the figure reproductions: PIFETCH_THREADS if
+ * set, otherwise hardware concurrency. Purely wall-clock — the rows
+ * printed are bit-identical at any value.
+ */
+inline unsigned
+threads()
+{
+    return defaultThreads();
+}
+
+/** SystemConfig with the thread knob resolved for this bench run. */
+inline SystemConfig
+systemConfig()
+{
+    SystemConfig cfg;
+    cfg.threads = threads();
+    return cfg;
 }
 
 /** Print a section banner. */

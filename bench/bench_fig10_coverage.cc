@@ -19,10 +19,13 @@ printFig10Left()
     benchutil::banner("Figure 10 (left): L1 miss coverage (%), "
                       "no storage limitation");
     const ExperimentBudget budget = benchutil::budget();
+    const SystemConfig cfg = benchutil::systemConfig();
+    std::printf("(%u worker threads; override with PIFETCH_THREADS)\n",
+                benchutil::threads());
     std::printf("%-6s %-8s %10s %10s %10s %14s\n", "group", "workload",
                 "Next-Line", "TIFS", "PIF", "(base misses)");
     for (ServerWorkload w : allServerWorkloads()) {
-        const auto points = runFig10Coverage(w, budget);
+        const auto points = runFig10Coverage(w, budget, cfg);
         double nl = 0.0;
         double tifs = 0.0;
         double pif = 0.0;

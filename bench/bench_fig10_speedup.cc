@@ -20,6 +20,9 @@ printFig10Right()
     benchutil::banner("Figure 10 (right): speedup over no-prefetch "
                       "baseline (UIPC)");
     const ExperimentBudget budget = benchutil::budget();
+    const SystemConfig cfg = benchutil::systemConfig();
+    std::printf("(%u worker threads; override with PIFETCH_THREADS)\n",
+                benchutil::threads());
     std::printf("%-6s %-8s %10s %10s %10s %10s %12s\n", "group",
                 "workload", "Next-Line", "TIFS", "PIF", "Perfect",
                 "(base UIPC)");
@@ -28,7 +31,7 @@ printFig10Right()
     double geo_perfect = 1.0;
     unsigned count = 0;
     for (ServerWorkload w : allServerWorkloads()) {
-        const auto points = runFig10Speedup(w, budget);
+        const auto points = runFig10Speedup(w, budget, cfg);
         double base_uipc = 0.0;
         double nl = 0.0;
         double tifs = 0.0;

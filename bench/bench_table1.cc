@@ -25,7 +25,7 @@ void
 printTable1()
 {
     benchutil::banner("Table I (left): system parameters");
-    printSystemConfig(SystemConfig{}, std::cout);
+    printSystemConfig(benchutil::systemConfig(), std::cout);
 
     benchutil::banner("Predictor storage (Section 5.4 trade-off)");
     {

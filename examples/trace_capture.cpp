@@ -7,6 +7,7 @@
  * workflow a user with real hardware traces would follow.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -30,20 +31,28 @@ main()
              [&](const RetiredInstr &r) { trace.push_back(r); });
 
     const std::string path = "/tmp/pifetch_apache.trace";
+    auto t0 = std::chrono::steady_clock::now();
     if (!writeTrace(path, trace)) {
         std::fprintf(stderr, "failed to write %s\n", path.c_str());
         return 1;
     }
-    std::printf("captured %zu instructions to %s\n", trace.size(),
-                path.c_str());
+    auto elapsed_ms = [&t0] {
+        return std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0).count();
+    };
+    std::printf("captured %zu instructions to %s in %.1f ms "
+                "(chunked writer)\n",
+                trace.size(), path.c_str(), elapsed_ms());
 
     // 2. Read it back and verify.
     std::vector<RetiredInstr> replay;
+    t0 = std::chrono::steady_clock::now();
     if (!readTrace(path, replay) || replay.size() != trace.size()) {
         std::fprintf(stderr, "trace read-back failed\n");
         return 1;
     }
-    std::printf("read back %zu instructions\n", replay.size());
+    std::printf("read back %zu instructions in %.1f ms\n",
+                replay.size(), elapsed_ms());
 
     // 3. Feed the trace straight into PIF's recording path and report
     // the compaction it achieves (Section 3's storage argument).

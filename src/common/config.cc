@@ -5,6 +5,8 @@
 
 #include "common/config.hh"
 
+#include "common/parallel.hh"
+
 namespace pifetch {
 
 namespace {
@@ -55,6 +57,10 @@ printSystemConfig(const SystemConfig &cfg, std::ostream &os)
        << cfg.pif.indexAssoc << "-way\n"
        << "  SABs: " << cfg.pif.numSabs << " x "
        << cfg.pif.sabWindowRegions << "-region window\n";
+    os << "Host execution\n"
+       << "  " << resolveThreads(cfg.threads) << " worker threads"
+       << (cfg.threads == 0 ? " (auto)" : "") << ", seed "
+       << cfg.seed << "\n";
 }
 
 } // namespace pifetch

@@ -145,6 +145,13 @@ struct SystemConfig
     TrapConfig trap;
     unsigned numCores = 16;   //!< documented; engines simulate per core
     std::uint64_t seed = 42;  //!< master seed for deterministic runs
+    /**
+     * Host worker threads for the multicore/experiment runners
+     * (0 = auto: PIFETCH_THREADS env var, else hardware concurrency).
+     * Results are bit-identical at any value; this is purely a
+     * wall-clock knob.
+     */
+    unsigned threads = 0;
 };
 
 /** Print a human-readable rendition of Table I for this config. */

@@ -102,12 +102,14 @@ class Rng
     }
 
     /**
-     * Zipf-distributed index in [0, n) with exponent s > 0, s != 1.
+     * Zipf-distributed index in [0, n) with exponent s > 0.
      *
      * Server code is famously skewed: a few hot functions dominate while
      * a long tail is touched rarely. Uses the inverse-CDF of the
      * continuous bounded Pareto envelope, which is a standard and fast
-     * approximation of the discrete Zipf for workload synthesis.
+     * approximation of the discrete Zipf for workload synthesis. The
+     * harmonic case (s near 1, where the general form divides by
+     * 1 - s = 0) uses the log-form inverse CDF x = n^u instead.
      */
     std::uint64_t
     zipf(std::uint64_t n, double s)
@@ -117,9 +119,14 @@ class Rng
         const double one_minus_s = 1.0 - s;
         const double nn = static_cast<double>(n);
         const double u = uniform();
-        const double x =
-            std::pow(u * (std::pow(nn, one_minus_s) - 1.0) + 1.0,
-                     1.0 / one_minus_s);
+        double x;
+        if (std::fabs(one_minus_s) < 1e-9) {
+            // Density 1/x on [1, n]: CDF = ln(x)/ln(n), inverse n^u.
+            x = std::exp(u * std::log(nn));
+        } else {
+            x = std::pow(u * (std::pow(nn, one_minus_s) - 1.0) + 1.0,
+                         1.0 / one_minus_s);
+        }
         std::uint64_t k = static_cast<std::uint64_t>(x);
         if (k >= n)
             k = n - 1;

@@ -5,6 +5,7 @@
 
 #include "sim/experiment.hh"
 
+#include "common/parallel.hh"
 #include "pif/pif_prefetcher.hh"
 #include "pif/region_analyzer.hh"
 #include "pif/spatial_compactor.hh"
@@ -261,35 +262,37 @@ runFig10Coverage(ServerWorkload w, const ExperimentBudget &budget,
 {
     const Program prog = buildWorkloadProgram(w);
 
-    // Baseline: no prefetching defines the miss population.
-    std::uint64_t baseline_misses = 0;
-    {
-        TraceEngine engine(cfg, prog, executorConfigFor(w),
-                           std::make_unique<NullPrefetcher>());
-        baseline_misses =
-            engine.run(budget.warmup, budget.measure).misses;
-    }
-
-    const PrefetcherKind kinds[] = {
+    // Slot 0 (None -> NullPrefetcher) is the baseline defining the
+    // miss population. Every engine is independent (the shared
+    // Program is read-only), so all four run concurrently and results
+    // land in fixed slots.
+    static constexpr PrefetcherKind kinds[] = {
+        PrefetcherKind::None,
         PrefetcherKind::NextLine,
         PrefetcherKind::Tifs,
         PrefetcherKind::Pif,
     };
+    constexpr std::size_t num_kinds =
+        sizeof(kinds) / sizeof(kinds[0]);
 
-    std::vector<Fig10CoveragePoint> out;
-    for (PrefetcherKind kind : kinds) {
+    std::uint64_t misses[num_kinds] = {};
+    parallelFor(cfg.threads, num_kinds, [&](std::uint64_t i) {
         // Section 5.5 compares without storage limitations.
         TraceEngine engine(cfg, prog, executorConfigFor(w),
-                           makePrefetcher(kind, cfg, true));
-        const TraceRunResult r = engine.run(budget.warmup,
-                                            budget.measure);
+                           makePrefetcher(kinds[i], cfg, true));
+        misses[i] = engine.run(budget.warmup, budget.measure).misses;
+    });
+
+    const std::uint64_t baseline_misses = misses[0];
+    std::vector<Fig10CoveragePoint> out;
+    for (std::size_t i = 1; i < num_kinds; ++i) {
         Fig10CoveragePoint p;
-        p.kind = kind;
+        p.kind = kinds[i];
         p.baselineMisses = baseline_misses;
-        p.remainingMisses = r.misses;
+        p.remainingMisses = misses[i];
         p.missCoverage = baseline_misses == 0
             ? 0.0
-            : 1.0 - static_cast<double>(r.misses) /
+            : 1.0 - static_cast<double>(misses[i]) /
                     static_cast<double>(baseline_misses);
         if (p.missCoverage < 0.0)
             p.missCoverage = 0.0;
@@ -304,26 +307,31 @@ runFig10Speedup(ServerWorkload w, const ExperimentBudget &budget,
 {
     const Program prog = buildWorkloadProgram(w);
 
-    const PrefetcherKind kinds[] = {
+    static constexpr PrefetcherKind kinds[] = {
         PrefetcherKind::None,
         PrefetcherKind::NextLine,
         PrefetcherKind::Tifs,
         PrefetcherKind::Pif,
         PrefetcherKind::Perfect,
     };
+    constexpr std::size_t num_kinds =
+        sizeof(kinds) / sizeof(kinds[0]);
 
+    double uipc[num_kinds] = {};
+    // One independent cycle engine per configuration; speedups are
+    // derived from the fixed slots after all engines complete.
+    parallelFor(cfg.threads, num_kinds, [&](std::uint64_t i) {
+        CycleEngine engine(cfg, prog, executorConfigFor(w), kinds[i]);
+        uipc[i] = engine.run(budget.warmup, budget.measure).uipc;
+    });
+
+    const double baseline_uipc = uipc[0];  // kinds[0] is None
     std::vector<Fig10SpeedupPoint> out;
-    double baseline_uipc = 0.0;
-    for (PrefetcherKind kind : kinds) {
-        CycleEngine engine(cfg, prog, executorConfigFor(w), kind);
-        const CycleRunResult r = engine.run(budget.warmup,
-                                            budget.measure);
+    for (std::size_t i = 0; i < num_kinds; ++i) {
         Fig10SpeedupPoint p;
-        p.kind = kind;
-        p.uipc = r.uipc;
-        if (kind == PrefetcherKind::None)
-            baseline_uipc = r.uipc;
-        p.speedup = baseline_uipc > 0.0 ? r.uipc / baseline_uipc : 0.0;
+        p.kind = kinds[i];
+        p.uipc = uipc[i];
+        p.speedup = baseline_uipc > 0.0 ? uipc[i] / baseline_uipc : 0.0;
         out.push_back(p);
     }
     return out;

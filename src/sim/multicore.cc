@@ -5,6 +5,8 @@
 
 #include "sim/multicore.hh"
 
+#include "common/parallel.hh"
+
 namespace pifetch {
 
 double
@@ -64,8 +66,12 @@ runMulticoreTrace(ServerWorkload w, PrefetcherKind kind, unsigned cores,
                   const SystemConfig &cfg)
 {
     MulticoreTraceResult out;
-    out.perCore.reserve(cores);
-    for (unsigned core = 0; core < cores; ++core) {
+    out.perCore.resize(cores);
+    // Cores are fully independent simulations: every task constructs
+    // its own Program, SystemConfig, executor and prefetcher, shares
+    // nothing mutable, and writes only its own result slot — so the
+    // output is bit-identical to the serial loop at any thread count.
+    parallelFor(cfg.threads, cores, [&](std::uint64_t core) {
         // Each core executes its own instance of the workload: same
         // program, different transaction interleaving and interrupt
         // arrivals (seed offset), exactly like distinct server threads.
@@ -76,8 +82,8 @@ runMulticoreTrace(ServerWorkload w, PrefetcherKind kind, unsigned cores,
                            executorConfigFor(workloadParams(w, core),
                                              core),
                            makePrefetcher(kind, core_cfg));
-        out.perCore.push_back(engine.run(warmup, measure));
-    }
+        out.perCore[core] = engine.run(warmup, measure);
+    });
     return out;
 }
 
@@ -203,8 +209,10 @@ runMulticoreCycle(ServerWorkload w, PrefetcherKind kind, unsigned cores,
                   const SystemConfig &cfg)
 {
     MulticoreCycleResult out;
-    out.perCore.reserve(cores);
-    for (unsigned core = 0; core < cores; ++core) {
+    out.perCore.resize(cores);
+    // Same isolation argument as runMulticoreTrace: per-task
+    // construction, disjoint result slots, deterministic output.
+    parallelFor(cfg.threads, cores, [&](std::uint64_t core) {
         const Program prog = buildWorkloadProgram(w, core);
         SystemConfig core_cfg = cfg;
         core_cfg.seed = cfg.seed + core * 7919;
@@ -212,8 +220,8 @@ runMulticoreCycle(ServerWorkload w, PrefetcherKind kind, unsigned cores,
                            executorConfigFor(workloadParams(w, core),
                                              core),
                            kind);
-        out.perCore.push_back(engine.run(warmup, measure));
-    }
+        out.perCore[core] = engine.run(warmup, measure);
+    });
     return out;
 }
 

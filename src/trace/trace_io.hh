@@ -27,6 +27,12 @@ constexpr std::uint32_t traceVersion = 1;
 
 /**
  * Write @p records to @p path.
+ *
+ * Streams through a chunk buffer (one fwrite per ~32K records) and
+ * flushes + closes explicitly, so a write error that only surfaces at
+ * flush/close time (e.g. ENOSPC) is reported as failure, never as
+ * silent data loss.
+ *
  * @return true on success; false on any I/O failure.
  */
 bool writeTrace(const std::string &path,
@@ -34,9 +40,16 @@ bool writeTrace(const std::string &path,
 
 /**
  * Read a trace file written by writeTrace().
- * @param[out] records Replaced with the file contents on success.
- * @return true on success; false on I/O error, bad magic, or version
- *         mismatch.
+ *
+ * The header's record count is validated against the actual file size
+ * before any allocation, so a corrupt or truncated header fails fast
+ * instead of triggering a multi-GB reserve. Reads stream through the
+ * same chunking as writeTrace().
+ *
+ * @param[out] records Replaced with the file contents on success;
+ *             left empty on failure.
+ * @return true on success; false on I/O error, bad magic, version
+ *         mismatch, or a count that exceeds the file's payload.
  */
 bool readTrace(const std::string &path,
                std::vector<RetiredInstr> &records);

@@ -71,6 +71,72 @@ TEST(Multicore, DeterministicAcrossInvocations)
     }
 }
 
+/** Field-by-field equality of two functional results. */
+void
+expectSameTraceResults(const MulticoreTraceResult &a,
+                       const MulticoreTraceResult &b)
+{
+    ASSERT_EQ(a.perCore.size(), b.perCore.size());
+    for (std::size_t c = 0; c < a.perCore.size(); ++c) {
+        const TraceRunResult &x = a.perCore[c];
+        const TraceRunResult &y = b.perCore[c];
+        EXPECT_EQ(x.instrs, y.instrs);
+        EXPECT_EQ(x.accesses, y.accesses);
+        EXPECT_EQ(x.misses, y.misses);
+        EXPECT_EQ(x.wrongPathFetches, y.wrongPathFetches);
+        EXPECT_EQ(x.mispredicts, y.mispredicts);
+        EXPECT_EQ(x.interrupts, y.interrupts);
+        EXPECT_EQ(x.prefetchIssued, y.prefetchIssued);
+        EXPECT_EQ(x.prefetchFills, y.prefetchFills);
+        EXPECT_EQ(x.usefulPrefetches, y.usefulPrefetches);
+        EXPECT_DOUBLE_EQ(x.pifCoverageTl0, y.pifCoverageTl0);
+        EXPECT_DOUBLE_EQ(x.pifCoverageTl1, y.pifCoverageTl1);
+        EXPECT_DOUBLE_EQ(x.pifCoverage, y.pifCoverage);
+    }
+}
+
+TEST(Multicore, TraceRunnerBitIdenticalAcrossThreadCounts)
+{
+    SystemConfig serial_cfg;
+    serial_cfg.threads = 1;
+    SystemConfig parallel_cfg;
+    parallel_cfg.threads = 4;
+
+    const auto serial = runMulticoreTrace(ServerWorkload::OltpDb2,
+                                          PrefetcherKind::Pif, 4,
+                                          100'000, 200'000,
+                                          serial_cfg);
+    const auto parallel = runMulticoreTrace(ServerWorkload::OltpDb2,
+                                            PrefetcherKind::Pif, 4,
+                                            100'000, 200'000,
+                                            parallel_cfg);
+    expectSameTraceResults(serial, parallel);
+}
+
+TEST(Multicore, CycleRunnerBitIdenticalAcrossThreadCounts)
+{
+    SystemConfig serial_cfg;
+    serial_cfg.threads = 1;
+    SystemConfig parallel_cfg;
+    parallel_cfg.threads = 3;
+
+    const auto serial = runMulticoreCycle(ServerWorkload::WebApache,
+                                          PrefetcherKind::Tifs, 3,
+                                          80'000, 150'000, serial_cfg);
+    const auto parallel = runMulticoreCycle(ServerWorkload::WebApache,
+                                            PrefetcherKind::Tifs, 3,
+                                            80'000, 150'000,
+                                            parallel_cfg);
+    ASSERT_EQ(serial.perCore.size(), parallel.perCore.size());
+    for (std::size_t c = 0; c < serial.perCore.size(); ++c) {
+        EXPECT_EQ(serial.perCore[c].userInstrs,
+                  parallel.perCore[c].userInstrs);
+        EXPECT_EQ(serial.perCore[c].cycles, parallel.perCore[c].cycles);
+        EXPECT_DOUBLE_EQ(serial.perCore[c].uipc,
+                         parallel.perCore[c].uipc);
+    }
+}
+
 TEST(Multicore, EmptyResultIsSafe)
 {
     MulticoreTraceResult empty;

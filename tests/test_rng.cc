@@ -128,6 +128,41 @@ TEST(Rng, ZipfSingletonIsZero)
     EXPECT_EQ(r.zipf(1, 0.8), 0u);
 }
 
+TEST(Rng, ZipfHarmonicExponentIsFiniteAndSkewed)
+{
+    // Regression: s == 1.0 made one_minus_s exactly 0 and the general
+    // inverse CDF divided by it (pow(..., inf) -> 0 or inf indices).
+    Rng r(43);
+    int low = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const auto v = r.zipf(1000, 1.0);
+        ASSERT_LT(v, 1000u);
+        low += v < 100 ? 1 : 0;
+    }
+    // Harmonic skew puts far more than the uniform 10% below rank 100.
+    EXPECT_GT(low, n / 4);
+}
+
+TEST(Rng, ZipfNearHarmonicMatchesNeighbors)
+{
+    // The log-form branch (|1-s| < 1e-9) must blend continuously into
+    // the general branch: mass below rank 100 of 1000 should be
+    // monotone-ish across s = 0.999, 1.0, 1.001.
+    const double skews[] = {0.999, 1.0, 1.001};
+    double frac[3];
+    for (int k = 0; k < 3; ++k) {
+        Rng r(47);
+        int low = 0;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i)
+            low += r.zipf(1000, skews[k]) < 100 ? 1 : 0;
+        frac[k] = static_cast<double>(low) / n;
+    }
+    EXPECT_NEAR(frac[1], frac[0], 0.02);
+    EXPECT_NEAR(frac[1], frac[2], 0.02);
+}
+
 /** Property: higher skew concentrates more mass on low ranks. */
 class ZipfSkewProperty : public ::testing::TestWithParam<double>
 {
@@ -146,7 +181,8 @@ TEST_P(ZipfSkewProperty, MassBelowMedianGrowsWithSkew)
 }
 
 INSTANTIATE_TEST_SUITE_P(Skews, ZipfSkewProperty,
-                         ::testing::Values(0.3, 0.5, 0.75, 0.9));
+                         ::testing::Values(0.3, 0.5, 0.75, 0.9, 1.0,
+                                           1.2));
 
 } // namespace
 } // namespace pifetch

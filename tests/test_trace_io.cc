@@ -129,5 +129,110 @@ TEST_F(TraceIoTest, LargeTraceRoundTrips)
     EXPECT_EQ(replay[99999].pc, big[99999].pc);
 }
 
+TEST_F(TraceIoTest, CorruptHeaderCountRejectedWithoutAllocating)
+{
+    // A valid small file whose header then claims ~768 billion
+    // records: reserve()ing that many would demand ~17 TB before the
+    // first record read could fail. The reader must bounds-check the
+    // count against the file size and reject up front.
+    ASSERT_TRUE(writeTrace(path_, sampleTrace()));
+    std::FILE *f = std::fopen(path_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    const std::uint64_t bogus = 0xb2d05e00000000ull;
+    ASSERT_EQ(0, std::fseek(f, 8, SEEK_SET));  // magic+version = 8 B
+    ASSERT_EQ(1u, std::fwrite(&bogus, sizeof(bogus), 1, f));
+    ASSERT_EQ(0, std::fclose(f));
+
+    std::vector<RetiredInstr> replay;
+    EXPECT_FALSE(readTrace(path_, replay));
+    EXPECT_TRUE(replay.empty());
+}
+
+TEST_F(TraceIoTest, CountLargerThanPayloadRejected)
+{
+    // Off-by-one flavour: header promises one more record than the
+    // payload holds.
+    ASSERT_TRUE(writeTrace(path_, sampleTrace()));
+    std::FILE *f = std::fopen(path_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    const std::uint64_t bogus = sampleTrace().size() + 1;
+    ASSERT_EQ(0, std::fseek(f, 8, SEEK_SET));
+    ASSERT_EQ(1u, std::fwrite(&bogus, sizeof(bogus), 1, f));
+    ASSERT_EQ(0, std::fclose(f));
+
+    std::vector<RetiredInstr> replay;
+    EXPECT_FALSE(readTrace(path_, replay));
+    EXPECT_TRUE(replay.empty());
+}
+
+TEST_F(TraceIoTest, TrailingBytesBeyondCountAreIgnored)
+{
+    ASSERT_TRUE(writeTrace(path_, sampleTrace()));
+    std::FILE *f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const char extra[7] = "extra!";
+    ASSERT_EQ(sizeof(extra),
+              std::fwrite(extra, 1, sizeof(extra), f));
+    ASSERT_EQ(0, std::fclose(f));
+
+    std::vector<RetiredInstr> replay;
+    ASSERT_TRUE(readTrace(path_, replay));
+    EXPECT_EQ(replay.size(), sampleTrace().size());
+}
+
+TEST_F(TraceIoTest, HeaderOnlyFileWithZeroCountSucceeds)
+{
+    ASSERT_TRUE(writeTrace(path_, {}));
+    std::vector<RetiredInstr> replay;
+    ASSERT_TRUE(readTrace(path_, replay));
+    EXPECT_TRUE(replay.empty());
+
+    // ...but a bare header claiming records is rejected.
+    std::FILE *f = std::fopen(path_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    const std::uint64_t bogus = 1;
+    ASSERT_EQ(0, std::fseek(f, 8, SEEK_SET));
+    ASSERT_EQ(1u, std::fwrite(&bogus, sizeof(bogus), 1, f));
+    ASSERT_EQ(0, std::fclose(f));
+    EXPECT_FALSE(readTrace(path_, replay));
+}
+
+TEST_F(TraceIoTest, ChunkBoundaryTraceRoundTripsAllFields)
+{
+    // Sizes straddling the 32K-record chunk: below, exactly one
+    // chunk, one over, and a multi-chunk trace with a partial tail.
+    const std::size_t sizes[] = {32767, 32768, 32769, 70001};
+    for (const std::size_t count : sizes) {
+        std::vector<RetiredInstr> trace;
+        trace.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            RetiredInstr r;
+            r.pc = 0x40000000 + i * 4;
+            r.kind = static_cast<InstrKind>(i % 5);
+            r.target = (i % 3 == 0) ? 0x50000000 + i : invalidAddr;
+            r.taken = i % 2 == 0;
+            r.trapLevel = static_cast<TrapLevel>(i % 2);
+            trace.push_back(r);
+        }
+        ASSERT_TRUE(writeTrace(path_, trace));
+        std::vector<RetiredInstr> replay;
+        ASSERT_TRUE(readTrace(path_, replay));
+        ASSERT_EQ(replay.size(), trace.size()) << "count " << count;
+        for (std::size_t i = 0; i < count; ++i) {
+            ASSERT_EQ(replay[i].pc, trace[i].pc);
+            ASSERT_EQ(replay[i].target, trace[i].target);
+            ASSERT_EQ(replay[i].kind, trace[i].kind);
+            ASSERT_EQ(replay[i].taken, trace[i].taken);
+            ASSERT_EQ(replay[i].trapLevel, trace[i].trapLevel);
+        }
+    }
+}
+
+TEST_F(TraceIoTest, WriteToUnwritablePathFails)
+{
+    EXPECT_FALSE(writeTrace("/nonexistent-dir/trace.bin",
+                            sampleTrace()));
+}
+
 } // namespace
 } // namespace pifetch
