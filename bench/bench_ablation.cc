@@ -1,131 +1,27 @@
 /**
  * @file
- * Ablation studies beyond the paper's figures (DESIGN.md extensions):
- *  - temporal compactor depth (0 disables loop filtering),
- *  - SAB count and window size (footnote 2's 4 x 7 choice),
- *  - trap-level separation on/off (the Retire vs RetireSep delta
- *    realized in hardware),
- *  - next-line prefetch degree.
+ * Ablation studies beyond the paper's figures: thin wrapper over the
+ * `ablation` registry experiment (temporal compactor depth, SAB
+ * grid, trap-level separation, shared-vs-private storage, next-line
+ * degree), plus trace-engine microbenchmarks.
  */
-
-#include <iostream>
 
 #include "bench_common.hh"
 #include "pif/pif_prefetcher.hh"
-#include "prefetch/next_line.hh"
-#include "sim/multicore.hh"
-#include "sim/trace_engine.hh"
 #include "sim/workloads.hh"
 
 using namespace pifetch;
 
 namespace {
 
-constexpr ServerWorkload kWorkload = ServerWorkload::OltpDb2;
-
-TraceRunResult
-runPif(const SystemConfig &cfg, const Program &prog)
-{
-    const ExperimentBudget budget = benchutil::budget();
-    TraceEngine engine(cfg, prog, executorConfigFor(kWorkload),
-                       std::make_unique<PifPrefetcher>(cfg.pif));
-    return engine.run(budget.warmup, budget.measure);
-}
-
-void
-printAblations()
-{
-    const Program prog = buildWorkloadProgram(kWorkload);
-    const SystemConfig base;
-
-    benchutil::banner("Ablation: temporal compactor depth "
-                      "(OLTP DB2, PIF coverage / prefetch issue rate)");
-    std::printf("%-10s %10s %14s %14s\n", "entries", "coverage",
-                "issued/1Kinst", "miss ratio");
-    for (unsigned entries : {1u, 2u, 4u, 8u, 16u}) {
-        SystemConfig cfg = base;
-        cfg.pif.temporalEntries = entries;
-        const TraceRunResult r = runPif(cfg, prog);
-        std::printf("%-10u %9.2f%% %14.1f %13.3f%%\n", entries,
-                    100.0 * r.pifCoverage,
-                    static_cast<double>(r.prefetchIssued) * 1000.0 /
-                        static_cast<double>(r.instrs),
-                    100.0 * r.missRatio());
-    }
-
-    benchutil::banner("Ablation: SAB count x window "
-                      "(paper: 4 SABs x 7 regions)");
-    std::printf("%-12s %10s %13s\n", "sabs x win", "coverage",
-                "miss ratio");
-    for (unsigned sabs : {1u, 2u, 4u, 8u}) {
-        for (unsigned window : {3u, 7u, 15u}) {
-            SystemConfig cfg = base;
-            cfg.pif.numSabs = sabs;
-            cfg.pif.sabWindowRegions = window;
-            const TraceRunResult r = runPif(cfg, prog);
-            std::printf("%2u x %-7u %9.2f%% %12.3f%%\n", sabs, window,
-                        100.0 * r.pifCoverage, 100.0 * r.missRatio());
-        }
-    }
-
-    benchutil::banner("Ablation: trap-level stream separation");
-    for (bool separate : {false, true}) {
-        SystemConfig cfg = base;
-        cfg.pif.separateTrapLevels = separate;
-        const TraceRunResult r = runPif(cfg, prog);
-        std::printf("separate=%-5s coverage %6.2f%%  miss ratio "
-                    "%6.3f%%\n",
-                    separate ? "on" : "off", 100.0 * r.pifCoverage,
-                    100.0 * r.missRatio());
-    }
-
-    benchutil::banner("Extension: shared vs private PIF storage "
-                      "(4 cores, same binary; Section 4's deferred "
-                      "optimization)");
-    {
-        const ExperimentBudget b = benchutil::budget();
-        std::printf("%-14s %12s %12s\n", "total regions",
-                    "private", "shared");
-        for (std::uint64_t total : {8192ull, 32768ull}) {
-            const SharedPifStudyResult r = runSharedPifStudy(
-                kWorkload, 4, total, b.warmup / 2, b.measure / 2);
-            std::printf("%-14llu %11.2f%% %11.2f%%   (coverage)\n",
-                        static_cast<unsigned long long>(total),
-                        100.0 * r.privateCoverage,
-                        100.0 * r.sharedCoverage);
-            std::printf("%-14s %11.3f%% %11.3f%%   (miss ratio)\n", "",
-                        100.0 * r.privateMissRatio,
-                        100.0 * r.sharedMissRatio);
-        }
-    }
-
-    benchutil::banner("Ablation: next-line degree");
-    std::printf("%-8s %13s %16s\n", "degree", "miss ratio",
-                "useful/fills");
-    const ExperimentBudget budget = benchutil::budget();
-    for (unsigned degree : {1u, 2u, 4u, 8u}) {
-        SystemConfig cfg = base;
-        cfg.nextLine.degree = degree;
-        TraceEngine engine(
-            cfg, prog, executorConfigFor(kWorkload),
-            std::make_unique<NextLinePrefetcher>(cfg.nextLine));
-        const TraceRunResult r = engine.run(budget.warmup,
-                                            budget.measure);
-        const double acc = r.prefetchFills == 0 ? 0.0
-            : static_cast<double>(r.usefulPrefetches) /
-              static_cast<double>(r.prefetchFills);
-        std::printf("%-8u %12.3f%% %15.2f%%\n", degree,
-                    100.0 * r.missRatio(), 100.0 * acc);
-    }
-}
-
 void
 BM_TraceEnginePif(benchmark::State &state)
 {
     const SystemConfig cfg;
-    const Program prog = buildWorkloadProgram(kWorkload);
+    const Program prog = buildWorkloadProgram(ServerWorkload::OltpDb2);
     for (auto _ : state) {
-        TraceEngine engine(cfg, prog, executorConfigFor(kWorkload),
+        TraceEngine engine(cfg, prog,
+                           executorConfigFor(ServerWorkload::OltpDb2),
                            std::make_unique<PifPrefetcher>(cfg.pif));
         const TraceRunResult r = engine.run(0, 50'000);
         benchmark::DoNotOptimize(r.misses);
@@ -140,6 +36,6 @@ BENCHMARK(BM_TraceEnginePif)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printAblations();
+    benchutil::printExperiment("ablation");
     return benchutil::runMicrobenchmarks(argc, argv);
 }

@@ -2,11 +2,11 @@
  * @file
  * Shared helpers for the figure-reproduction bench binaries.
  *
- * Every bench binary prints its table/figure reproduction first (the
- * rows the paper reports), then runs its google-benchmark
- * microbenchmarks of the machinery involved. Instruction budgets can
- * be scaled with the PIFETCH_BENCH_SCALE environment variable
- * (default 1.0).
+ * Every bench binary prints its table/figure reproduction first — a
+ * thin wrapper over the experiment registry (sim/registry.hh) — then
+ * runs its google-benchmark microbenchmarks of the machinery
+ * involved. Instruction budgets can be scaled with the
+ * PIFETCH_BENCH_SCALE environment variable (default 1.0).
  */
 
 #ifndef PIFETCH_BENCH_BENCH_COMMON_HH
@@ -19,6 +19,7 @@
 
 #include "common/parallel.hh"
 #include "sim/experiment.hh"
+#include "sim/registry.hh"
 
 namespace pifetch {
 namespace benchutil {
@@ -80,6 +81,26 @@ banner(const char *title)
                 "================================================"
                 "====================\n",
                 title);
+}
+
+/**
+ * Run one registry experiment with the bench budget/threads and print
+ * its human-readable report — the whole figure-reproduction main.
+ */
+inline void
+printExperiment(const char *name)
+{
+    const ExperimentSpec *spec = findExperiment(name);
+    if (!spec) {
+        std::fprintf(stderr, "unknown experiment: %s\n", name);
+        std::exit(1);
+    }
+    std::printf("\n(%u worker threads; override with "
+                "PIFETCH_THREADS)\n", threads());
+    RunOptions opts;
+    opts.budget = budget();
+    opts.cfg = systemConfig();
+    std::fputs(renderText(runExperiment(*spec, opts)).c_str(), stdout);
 }
 
 /** Run the registered google-benchmark microbenchmarks. */

@@ -1,10 +1,9 @@
 /**
  * @file
- * Figure 10 (left) reproduction: L1-I miss coverage of Next-Line,
- * TIFS and PIF without storage limitations.
+ * Figure 10 (left) reproduction: thin wrapper over the
+ * `fig10-coverage` registry experiment, plus PIF retire-stream
+ * microbenchmarks.
  */
-
-#include <iostream>
 
 #include "bench_common.hh"
 #include "pif/pif_prefetcher.hh"
@@ -12,41 +11,6 @@
 using namespace pifetch;
 
 namespace {
-
-void
-printFig10Left()
-{
-    benchutil::banner("Figure 10 (left): L1 miss coverage (%), "
-                      "no storage limitation");
-    const ExperimentBudget budget = benchutil::budget();
-    const SystemConfig cfg = benchutil::systemConfig();
-    std::printf("(%u worker threads; override with PIFETCH_THREADS)\n",
-                benchutil::threads());
-    std::printf("%-6s %-8s %10s %10s %10s %14s\n", "group", "workload",
-                "Next-Line", "TIFS", "PIF", "(base misses)");
-    for (ServerWorkload w : allServerWorkloads()) {
-        const auto points = runFig10Coverage(w, budget, cfg);
-        double nl = 0.0;
-        double tifs = 0.0;
-        double pif = 0.0;
-        std::uint64_t base = 0;
-        for (const auto &p : points) {
-            base = p.baselineMisses;
-            if (p.kind == PrefetcherKind::NextLine)
-                nl = p.missCoverage;
-            if (p.kind == PrefetcherKind::Tifs)
-                tifs = p.missCoverage;
-            if (p.kind == PrefetcherKind::Pif)
-                pif = p.missCoverage;
-        }
-        std::printf("%-6s %-8s %9.2f%% %9.2f%% %9.2f%% %14llu\n",
-                    workloadGroup(w).c_str(), workloadName(w).c_str(),
-                    100.0 * nl, 100.0 * tifs, 100.0 * pif,
-                    static_cast<unsigned long long>(base));
-    }
-    std::printf("\npaper shape: PIF nearly perfect across all "
-                "workloads; TIFS 65-90%%;\nnext-line below TIFS.\n");
-}
 
 void
 BM_PifOnRetireStream(benchmark::State &state)
@@ -71,6 +35,6 @@ BENCHMARK(BM_PifOnRetireStream);
 int
 main(int argc, char **argv)
 {
-    printFig10Left();
+    benchutil::printExperiment("fig10-coverage");
     return benchutil::runMicrobenchmarks(argc, argv);
 }

@@ -1,10 +1,9 @@
 /**
  * @file
- * Figure 10 (right) reproduction: UIPC speedup over the no-prefetch
- * baseline for Next-Line, TIFS, PIF and the perfect-latency L1-I.
+ * Figure 10 (right) reproduction: thin wrapper over the
+ * `fig10-speedup` registry experiment, plus cycle-engine
+ * microbenchmarks.
  */
-
-#include <iostream>
 
 #include "bench_common.hh"
 #include "sim/cycle_engine.hh"
@@ -13,53 +12,6 @@
 using namespace pifetch;
 
 namespace {
-
-void
-printFig10Right()
-{
-    benchutil::banner("Figure 10 (right): speedup over no-prefetch "
-                      "baseline (UIPC)");
-    const ExperimentBudget budget = benchutil::budget();
-    const SystemConfig cfg = benchutil::systemConfig();
-    std::printf("(%u worker threads; override with PIFETCH_THREADS)\n",
-                benchutil::threads());
-    std::printf("%-6s %-8s %10s %10s %10s %10s %12s\n", "group",
-                "workload", "Next-Line", "TIFS", "PIF", "Perfect",
-                "(base UIPC)");
-
-    double geo_pif = 1.0;
-    double geo_perfect = 1.0;
-    unsigned count = 0;
-    for (ServerWorkload w : allServerWorkloads()) {
-        const auto points = runFig10Speedup(w, budget, cfg);
-        double base_uipc = 0.0;
-        double nl = 0.0;
-        double tifs = 0.0;
-        double pif = 0.0;
-        double perfect = 0.0;
-        for (const auto &p : points) {
-            switch (p.kind) {
-              case PrefetcherKind::None:     base_uipc = p.uipc; break;
-              case PrefetcherKind::NextLine: nl = p.speedup; break;
-              case PrefetcherKind::Tifs:     tifs = p.speedup; break;
-              case PrefetcherKind::Pif:      pif = p.speedup; break;
-              case PrefetcherKind::Perfect:  perfect = p.speedup; break;
-              default: break;
-            }
-        }
-        std::printf("%-6s %-8s %9.3fx %9.3fx %9.3fx %9.3fx %12.4f\n",
-                    workloadGroup(w).c_str(), workloadName(w).c_str(),
-                    nl, tifs, pif, perfect, base_uipc);
-        geo_pif *= pif;
-        geo_perfect *= perfect;
-        ++count;
-    }
-    std::printf("\ngeomean speedup: PIF %.3fx, Perfect %.3fx\n",
-                std::pow(geo_pif, 1.0 / count),
-                std::pow(geo_perfect, 1.0 / count));
-    std::printf("paper shape: Next-Line < TIFS < PIF ~= Perfect "
-                "(paper: PIF +27%% avg, perfect +29%%).\n");
-}
 
 void
 BM_CycleEngineStep(benchmark::State &state)
@@ -83,6 +35,6 @@ BENCHMARK(BM_CycleEngineStep)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig10Right();
+    benchutil::printExperiment("fig10-speedup");
     return benchutil::runMicrobenchmarks(argc, argv);
 }

@@ -1,12 +1,8 @@
 /**
  * @file
- * Figure 2 reproduction: percentage of correctly predicted
- * correct-path L1-I misses when recording/replaying temporal streams
- * at four observation points (Miss, Access, Retire, RetireSep).
+ * Figure 2 reproduction: thin wrapper over the `fig2-streams`
+ * registry experiment, plus temporal-predictor microbenchmarks.
  */
-
-#include <cinttypes>
-#include <iostream>
 
 #include "bench_common.hh"
 #include "streams/temporal_predictor.hh"
@@ -14,28 +10,6 @@
 using namespace pifetch;
 
 namespace {
-
-void
-printFig2()
-{
-    benchutil::banner("Figure 2: correctly predicted correct-path "
-                      "L1-I misses (%)");
-    std::printf("%-6s %-8s %8s %8s %8s %10s %12s\n", "group", "workload",
-                "Miss", "Access", "Retire", "RetireSep", "(misses)");
-    const ExperimentBudget budget = benchutil::budget();
-    for (ServerWorkload w : allServerWorkloads()) {
-        const Fig2Result r = runFig2(w, budget);
-        std::printf("%-6s %-8s %7.2f%% %7.2f%% %7.2f%% %9.2f%% %12" PRIu64
-                    "\n",
-                    workloadGroup(w).c_str(), workloadName(w).c_str(),
-                    100.0 * r.missCoverage, 100.0 * r.accessCoverage,
-                    100.0 * r.retireCoverage,
-                    100.0 * r.retireSepCoverage, r.correctPathMisses);
-    }
-    std::printf("\npaper shape: Miss < Access < Retire < RetireSep;\n"
-                "largest Miss loss in Web, largest Access loss in "
-                "Oracle, RetireSep near-perfect.\n");
-}
 
 void
 BM_TemporalPredictorObserve(benchmark::State &state)
@@ -61,6 +35,6 @@ BENCHMARK(BM_TemporalPredictorObserve)->Arg(8)->Arg(16)->Arg(32);
 int
 main(int argc, char **argv)
 {
-    printFig2();
+    benchutil::printExperiment("fig2-streams");
     return benchutil::runMicrobenchmarks(argc, argv);
 }

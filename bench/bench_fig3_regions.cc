@@ -1,63 +1,15 @@
 /**
  * @file
- * Figure 3 reproduction: spatial region density (left) and
- * discontinuous accesses within regions (right).
+ * Figure 3 reproduction: thin wrapper over the `fig3-regions`
+ * registry experiment, plus spatial-compactor microbenchmarks.
  */
-
-#include <iostream>
 
 #include "bench_common.hh"
 #include "pif/spatial_compactor.hh"
-#include "sim/workloads.hh"
 
 using namespace pifetch;
 
 namespace {
-
-void
-printFig3()
-{
-    const InstCount n = benchutil::analysisInstrs();
-
-    benchutil::banner("Figure 3 (left): references to spatial regions "
-                      "by density (unique blocks)");
-    std::printf("%-6s %-8s", "group", "workload");
-    Fig3Result sample = runFig3(ServerWorkload::OltpDb2, 1000);
-    for (unsigned i = 0; i < sample.density.ranges(); ++i)
-        std::printf(" %7s", sample.density.labelAt(i).c_str());
-    std::printf("\n");
-
-    std::vector<Fig3Result> results;
-    for (ServerWorkload w : allServerWorkloads()) {
-        results.push_back(runFig3(w, n));
-        const Fig3Result &r = results.back();
-        std::printf("%-6s %-8s", workloadGroup(w).c_str(),
-                    workloadName(w).c_str());
-        for (unsigned i = 0; i < r.density.ranges(); ++i)
-            std::printf(" %6.2f%%", 100.0 * r.density.fractionAt(i));
-        std::printf("\n");
-    }
-    std::printf("paper shape: >50%% of regions access more than one "
-                "block.\n");
-
-    benchutil::banner("Figure 3 (right): discontinuous (non-next-line) "
-                      "access groups within regions");
-    std::printf("%-6s %-8s", "group", "workload");
-    for (unsigned i = 0; i < sample.groups.ranges(); ++i)
-        std::printf(" %7s", sample.groups.labelAt(i).c_str());
-    std::printf("\n");
-    for (std::size_t k = 0; k < results.size(); ++k) {
-        const ServerWorkload w = allServerWorkloads()[k];
-        const Fig3Result &r = results[k];
-        std::printf("%-6s %-8s", workloadGroup(w).c_str(),
-                    workloadName(w).c_str());
-        for (unsigned i = 0; i < r.groups.ranges(); ++i)
-            std::printf(" %6.2f%%", 100.0 * r.groups.fractionAt(i));
-        std::printf("\n");
-    }
-    std::printf("paper shape: roughly one fifth of regions observe "
-                "discontinuous accesses.\n");
-}
 
 void
 BM_SpatialCompactor(benchmark::State &state)
@@ -82,6 +34,6 @@ BENCHMARK(BM_SpatialCompactor);
 int
 main(int argc, char **argv)
 {
-    printFig3();
+    benchutil::printExperiment("fig3-regions");
     return benchutil::runMicrobenchmarks(argc, argv);
 }

@@ -1,10 +1,8 @@
 /**
  * @file
- * Figure 7 reproduction: cumulative jump distance in history,
- * weighted by correct predictions — the deep-history argument.
+ * Figure 7 reproduction: thin wrapper over the `fig7-jumpdist`
+ * registry experiment, plus jump-distance-study microbenchmarks.
  */
-
-#include <iostream>
 
 #include "bench_common.hh"
 #include "streams/jump_distance.hh"
@@ -12,37 +10,6 @@
 using namespace pifetch;
 
 namespace {
-
-void
-printFig7()
-{
-    benchutil::banner("Figure 7: weighted jump distance in history "
-                      "(cumulative %, by log2 distance)");
-    const InstCount n = benchutil::analysisInstrs();
-
-    std::vector<Log2Histogram> hists;
-    unsigned max_bucket = 1;
-    for (ServerWorkload w : allServerWorkloads()) {
-        hists.push_back(runFig7(w, n));
-        max_bucket = std::max(max_bucket, hists.back().highestBucket());
-    }
-    if (max_bucket > 25)
-        max_bucket = 25;
-
-    std::printf("%-8s", "log2");
-    for (ServerWorkload w : allServerWorkloads())
-        std::printf(" %8s", workloadName(w).c_str());
-    std::printf("\n");
-    for (unsigned b = 1; b <= max_bucket; b += 2) {
-        std::printf("%-8u", b);
-        for (const Log2Histogram &h : hists)
-            std::printf(" %7.2f%%", 100.0 * h.cumulativeAt(b));
-        std::printf("\n");
-    }
-    std::printf("\npaper shape: medium-aged and old streams contribute "
-                "as many correct\npredictions as recent streams "
-                "(cumulative curve rises gradually).\n");
-}
 
 void
 BM_JumpDistanceStudy(benchmark::State &state)
@@ -63,6 +30,6 @@ BENCHMARK(BM_JumpDistanceStudy);
 int
 main(int argc, char **argv)
 {
-    printFig7();
+    benchutil::printExperiment("fig7-jumpdist");
     return benchutil::runMicrobenchmarks(argc, argv);
 }

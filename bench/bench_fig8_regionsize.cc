@@ -1,92 +1,15 @@
 /**
  * @file
- * Figure 8 reproduction: distribution of accesses around the trigger
- * block (left) and spatial region size sensitivity at TL0/TL1 (right).
+ * Figure 8 reproduction: thin wrapper over the `fig8-offsets` (left)
+ * and `fig8-regionsize` (right) registry experiments, plus a sweep
+ * microbenchmark.
  */
-
-#include <iostream>
 
 #include "bench_common.hh"
 
 using namespace pifetch;
 
 namespace {
-
-void
-printFig8Left()
-{
-    benchutil::banner("Figure 8 (left): references within spatial "
-                      "regions by distance from trigger (%)");
-    const InstCount n = benchutil::analysisInstrs();
-
-    // The paper aggregates by workload class.
-    struct GroupAccum
-    {
-        std::string name;
-        std::vector<ServerWorkload> members;
-    };
-    const std::vector<GroupAccum> groups = {
-        {"OLTP", {ServerWorkload::OltpDb2, ServerWorkload::OltpOracle}},
-        {"DSS", {ServerWorkload::DssQry2, ServerWorkload::DssQry17}},
-        {"Web", {ServerWorkload::WebApache, ServerWorkload::WebZeus}},
-    };
-
-    std::printf("%-6s", "dist");
-    for (const auto &g : groups)
-        std::printf(" %8s", g.name.c_str());
-    std::printf("\n");
-
-    std::vector<std::vector<double>> fracs;
-    for (const auto &g : groups) {
-        LinearHistogram sum(-4, 12);
-        for (ServerWorkload w : g.members) {
-            const LinearHistogram h = runFig8Left(w, n);
-            for (int off = -4; off <= 12; ++off) {
-                if (off != 0)
-                    sum.add(off, h.weightAt(off));
-            }
-        }
-        std::vector<double> f;
-        for (int off = -4; off <= 12; ++off)
-            f.push_back(off == 0 ? 0.0 : sum.fractionAt(off));
-        fracs.push_back(std::move(f));
-    }
-    for (int off = -4; off <= 12; ++off) {
-        if (off == 0)
-            continue;
-        std::printf("%+-6d", off);
-        for (const auto &f : fracs)
-            std::printf(" %7.2f%%", 100.0 * f[static_cast<size_t>(
-                off + 4)]);
-        std::printf("\n");
-    }
-    std::printf("paper shape: +1/+2 dominate; frequency decays with "
-                "distance;\nbackward (-1, -2) accesses occur with "
-                "significant frequency.\n");
-}
-
-void
-printFig8Right()
-{
-    benchutil::banner("Figure 8 (right): PIF coverage vs spatial "
-                      "region size (TL0 / TL1)");
-    const ExperimentBudget budget = benchutil::budget();
-    std::printf("%-6s %-8s %6s %8s %8s %8s %8s %8s\n", "group",
-                "workload", "TL", "1", "2", "4", "6", "8");
-    for (ServerWorkload w : allServerWorkloads()) {
-        const auto points = runFig8Right(w, budget);
-        std::printf("%-6s %-8s %6s", workloadGroup(w).c_str(),
-                    workloadName(w).c_str(), "TL0");
-        for (const auto &p : points)
-            std::printf(" %7.2f%%", 100.0 * p.tl0Coverage);
-        std::printf("\n%-6s %-8s %6s", "", "", "TL1");
-        for (const auto &p : points)
-            std::printf(" %7.2f%%", 100.0 * p.tl1Coverage);
-        std::printf("\n");
-    }
-    std::printf("paper shape: TL0 grows slightly with region size; TL1 "
-                "improves significantly.\n");
-}
 
 void
 BM_Fig8RightSweep(benchmark::State &state)
@@ -107,7 +30,7 @@ BENCHMARK(BM_Fig8RightSweep)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printFig8Left();
-    printFig8Right();
+    benchutil::printExperiment("fig8-offsets");
+    benchutil::printExperiment("fig8-regionsize");
     return benchutil::runMicrobenchmarks(argc, argv);
 }

@@ -1,10 +1,9 @@
 /**
  * @file
- * Figure 9 reproduction: temporal stream length contribution (left)
- * and history buffer size sensitivity (right).
+ * Figure 9 reproduction: thin wrapper over the `fig9-streamlen`
+ * (left) and `fig9-history` (right) registry experiments, plus
+ * stream-length-study microbenchmarks.
  */
-
-#include <iostream>
 
 #include "bench_common.hh"
 #include "streams/stream_length.hh"
@@ -12,66 +11,6 @@
 using namespace pifetch;
 
 namespace {
-
-void
-printFig9Left()
-{
-    benchutil::banner("Figure 9 (left): correct predictions by stream "
-                      "length (cumulative %, log2 regions)");
-    const InstCount n = benchutil::analysisInstrs();
-
-    std::vector<Log2Histogram> hists;
-    unsigned max_bucket = 1;
-    for (ServerWorkload w : allServerWorkloads()) {
-        hists.push_back(runFig9Left(w, n));
-        max_bucket = std::max(max_bucket, hists.back().highestBucket());
-    }
-    if (max_bucket > 21)
-        max_bucket = 21;
-
-    std::printf("%-8s", "log2");
-    for (ServerWorkload w : allServerWorkloads())
-        std::printf(" %8s", workloadName(w).c_str());
-    std::printf("\n");
-    for (unsigned b = 1; b <= max_bucket; b += 2) {
-        std::printf("%-8u", b);
-        for (const Log2Histogram &h : hists)
-            std::printf(" %7.2f%%", 100.0 * h.cumulativeAt(b));
-        std::printf("\n");
-    }
-    std::printf("\npaper shape: medium and long streams contribute more "
-                "correct predictions\nthan short streams.\n");
-}
-
-void
-printFig9Right()
-{
-    benchutil::banner("Figure 9 (right): PIF predictor coverage vs "
-                      "history size (regions)");
-    const ExperimentBudget budget = benchutil::budget();
-    const std::vector<std::uint64_t> sizes = {
-        2 * 1024, 8 * 1024, 32 * 1024, 128 * 1024, 512 * 1024,
-    };
-
-    std::printf("%-10s", "regions");
-    for (ServerWorkload w : allServerWorkloads())
-        std::printf(" %8s", workloadName(w).c_str());
-    std::printf("\n");
-
-    std::vector<std::vector<Fig9RightPoint>> all;
-    for (ServerWorkload w : allServerWorkloads())
-        all.push_back(runFig9Right(w, budget, sizes));
-    for (std::size_t s = 0; s < sizes.size(); ++s) {
-        std::printf("%-10llu",
-                    static_cast<unsigned long long>(sizes[s]));
-        for (const auto &points : all)
-            std::printf(" %7.2f%%", 100.0 * points[s].coverage);
-        std::printf("\n");
-    }
-    std::printf("\npaper shape: coverage rises monotonically with "
-                "storage; little justification\nfor growing beyond 32K "
-                "regions.\n");
-}
 
 void
 BM_StreamLengthStudy(benchmark::State &state)
@@ -92,7 +31,7 @@ BENCHMARK(BM_StreamLengthStudy);
 int
 main(int argc, char **argv)
 {
-    printFig9Left();
-    printFig9Right();
+    benchutil::printExperiment("fig9-streamlen");
+    benchutil::printExperiment("fig9-history");
     return benchutil::runMicrobenchmarks(argc, argv);
 }

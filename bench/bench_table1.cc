@@ -1,60 +1,15 @@
 /**
  * @file
- * Table I reproduction: system and application parameters.
- *
- * Prints the resolved simulated-machine configuration and, per
- * workload, the application parameters the generator realizes
- * (footprint, function counts, transaction mix, interrupt rate) —
- * the reproduction of Table I's two columns. Microbenchmarks cover
- * program generation throughput.
+ * Table I reproduction: thin wrapper over the `table1` registry
+ * experiment, plus program-generation/executor microbenchmarks.
  */
 
-#include <cinttypes>
-#include <iostream>
-
 #include "bench_common.hh"
-#include "common/config.hh"
-#include "pif/storage.hh"
 #include "sim/workloads.hh"
 
 using namespace pifetch;
 
 namespace {
-
-void
-printTable1()
-{
-    benchutil::banner("Table I (left): system parameters");
-    printSystemConfig(benchutil::systemConfig(), std::cout);
-
-    benchutil::banner("Predictor storage (Section 5.4 trade-off)");
-    {
-        const SystemConfig cfg;
-        const PifStorage s = computePifStorage(cfg.pif);
-        std::printf("PIF:  history %.1f KiB, index %.1f KiB, SABs "
-                    "%.2f KiB, compactors %.2f KiB -> total %.1f KiB\n",
-                    s.historyBits / 8192.0, s.indexBits / 8192.0,
-                    s.sabBits / 8192.0, s.compactorBits / 8192.0,
-                    s.totalKiB());
-        std::printf("TIFS (equal stream capacity): %.1f KiB\n",
-                    tifsStorageBits(cfg.tifs) / 8192.0);
-    }
-
-    benchutil::banner("Table I (right): application parameters "
-                      "(synthetic equivalents)");
-    std::printf("%-8s %-6s %10s %8s %8s %6s %12s\n", "workload", "group",
-                "footprint", "app fns", "lib fns", "tx", "intr rate");
-    for (ServerWorkload w : allServerWorkloads()) {
-        const WorkloadParams p = workloadParams(w);
-        const Program prog = buildWorkloadProgram(w);
-        std::printf("%-8s %-6s %7.2f MB %8u %8u %6u %12.1e\n",
-                    workloadName(w).c_str(), workloadGroup(w).c_str(),
-                    static_cast<double>(prog.footprintBytes()) /
-                        (1 << 20),
-                    p.appFunctions, p.libFunctions, p.transactions,
-                    p.interruptRate);
-    }
-}
 
 void
 BM_ProgramGeneration(benchmark::State &state)
@@ -87,6 +42,6 @@ BENCHMARK(BM_ExecutorThroughput);
 int
 main(int argc, char **argv)
 {
-    printTable1();
+    benchutil::printExperiment("table1");
     return benchutil::runMicrobenchmarks(argc, argv);
 }

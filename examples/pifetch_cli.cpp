@@ -1,0 +1,503 @@
+/**
+ * @file
+ * pifetch: the unified experiment CLI over the registry.
+ *
+ * Commands:
+ *   pifetch list
+ *       Enumerate every registered experiment.
+ *   pifetch run <experiment> [options]
+ *       Run one experiment; print the human report and optionally
+ *       write structured output.
+ *   pifetch sweep <experiment> --param key=v1,v2[,...] [options]
+ *       Fan a parameter grid (cartesian product) over the worker
+ *       pool; one experiment run per grid point.
+ *   pifetch golden [--list | <experiment>]
+ *       Canonical golden-fixture JSON (see scripts/regold.sh).
+ *
+ * Options (run and sweep):
+ *   --workload W       restrict to workload W (repeatable);
+ *                      db2|oracle|qry2|qry17|apache|zeus or 0..5
+ *   --json FILE|-      write the result document as JSON
+ *                      ("-" = stdout, which suppresses the report)
+ *   --csv FILE|-       write the result tables as CSV
+ *   --threads N        worker threads (0 = auto / PIFETCH_THREADS)
+ *   --warmup N         warmup instructions
+ *   --measure N        measured instructions
+ *   --seed N           master seed
+ *   --set key=value    configuration override (repeatable);
+ *                      see `pifetch list` for the supported keys
+ *   --quiet            suppress the human-readable report
+ *
+ * The JSON document layout is documented in docs/cli.md and
+ * src/sim/registry.hh.
+ */
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "sim/registry.hh"
+
+using namespace pifetch;
+
+namespace {
+
+int
+usage(std::FILE *out)
+{
+    std::fputs(
+        "usage: pifetch <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  list                      enumerate registered experiments\n"
+        "  run <experiment>          run one experiment\n"
+        "  sweep <experiment> --param key=v1,v2,...\n"
+        "                            run a parameter grid\n"
+        "  golden [--list|<exp>]     emit canonical golden JSON\n"
+        "  help                      this message\n"
+        "\n"
+        "run/sweep options:\n"
+        "  --workload W   db2|oracle|qry2|qry17|apache|zeus or 0..5\n"
+        "                 (repeatable; default: the experiment's set)\n"
+        "  --json FILE|-  write the JSON document (- = stdout,\n"
+        "                 suppressing the human report)\n"
+        "  --csv FILE|-   write the tables as CSV\n"
+        "  --threads N    worker threads (0 = auto)\n"
+        "  --warmup N     warmup instructions\n"
+        "  --measure N    measured instructions\n"
+        "  --seed N       master seed\n"
+        "  --set k=v      config override (repeatable)\n"
+        "  --quiet        no human-readable report\n",
+        out);
+    return out == stderr ? 2 : 0;
+}
+
+struct CliOptions
+{
+    RunOptions run;
+    std::string jsonPath;
+    std::string csvPath;
+    bool quiet = false;
+    /** --seed or --set appeared (invalid for analysis-only specs). */
+    bool configTouched = false;
+    /** sweep only: key -> list of values. */
+    std::vector<std::pair<std::string, std::vector<std::string>>> grid;
+};
+
+bool
+parseU64Arg(const char *s, std::uint64_t &out)
+{
+    return parseU64Value(s, out);  // registry's strict parser
+}
+
+/** Parse run/sweep options from argv[from..). Returns false on error. */
+bool
+parseOptions(int argc, char **argv, int from, bool allow_param,
+             CliOptions &opts)
+{
+    ExperimentBudget budget;
+    bool budget_set = false;
+    if (opts.run.budget) {
+        budget = *opts.run.budget;
+        budget_set = true;
+    }
+
+    for (int i = from; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "pifetch: %s needs a value\n",
+                             arg.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+
+        const auto badValue = [&](const char *v) {
+            std::fprintf(stderr,
+                         "pifetch: bad value '%s' for %s\n",
+                         v ? v : "<missing>", arg.c_str());
+            return false;
+        };
+
+        if (arg == "--workload") {
+            const char *v = next();
+            if (!v)
+                return false;
+            const std::optional<ServerWorkload> w = workloadFromName(v);
+            if (!w) {
+                std::fprintf(stderr, "pifetch: unknown workload '%s'\n",
+                             v);
+                return false;
+            }
+            opts.run.workloads.push_back(*w);
+        } else if (arg == "--json") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.jsonPath = v;
+        } else if (arg == "--csv") {
+            const char *v = next();
+            if (!v)
+                return false;
+            opts.csvPath = v;
+        } else if (arg == "--threads") {
+            const char *v = next();
+            std::uint64_t n = 0;
+            if (!v || !parseU64Arg(v, n))
+                return badValue(v);
+            opts.run.cfg.threads = static_cast<unsigned>(n);
+        } else if (arg == "--warmup") {
+            const char *v = next();
+            std::uint64_t n = 0;
+            if (!v || !parseU64Arg(v, n))
+                return badValue(v);
+            budget.warmup = n;
+            budget_set = true;
+        } else if (arg == "--measure") {
+            const char *v = next();
+            std::uint64_t n = 0;
+            if (!v || !parseU64Arg(v, n))
+                return badValue(v);
+            budget.measure = n;
+            budget_set = true;
+        } else if (arg == "--seed") {
+            const char *v = next();
+            std::uint64_t n = 0;
+            if (!v || !parseU64Arg(v, n))
+                return badValue(v);
+            opts.run.cfg.seed = n;
+            opts.configTouched = true;
+        } else if (arg == "--set") {
+            const char *v = next();
+            if (!v)
+                return false;
+            const char *eq = std::strchr(v, '=');
+            if (!eq) {
+                std::fprintf(stderr,
+                             "pifetch: --set expects key=value\n");
+                return false;
+            }
+            const std::string key(v, eq);
+            if (!applyConfigOverride(opts.run.cfg, key, eq + 1)) {
+                std::fprintf(stderr,
+                             "pifetch: bad override '%s' (see "
+                             "`pifetch list` for keys)\n", v);
+                return false;
+            }
+            opts.configTouched = true;
+        } else if (allow_param && arg == "--param") {
+            const char *v = next();
+            if (!v)
+                return false;
+            const char *eq = std::strchr(v, '=');
+            if (!eq || eq[1] == '\0') {
+                std::fprintf(stderr,
+                             "pifetch: --param expects "
+                             "key=v1,v2,...\n");
+                return false;
+            }
+            std::vector<std::string> values;
+            std::string cur;
+            for (const char *p = eq + 1;; ++p) {
+                if (*p == ',' || *p == '\0') {
+                    values.push_back(cur);
+                    cur.clear();
+                    if (*p == '\0')
+                        break;
+                } else {
+                    cur += *p;
+                }
+            }
+            opts.grid.emplace_back(std::string(v, eq),
+                                   std::move(values));
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else {
+            std::fprintf(stderr, "pifetch: unknown option '%s'\n",
+                         arg.c_str());
+            return false;
+        }
+    }
+    if (budget_set)
+        opts.run.budget = budget;
+    if (opts.jsonPath == "-" && opts.csvPath == "-") {
+        std::fprintf(stderr,
+                     "pifetch: --json - and --csv - would interleave "
+                     "on stdout; write at least one to a file\n");
+        return false;
+    }
+    return true;
+}
+
+/** Write @p text to @p path, or stdout when path is "-". */
+bool
+writeOutput(const std::string &path, const std::string &text)
+{
+    if (path == "-") {
+        std::fputs(text.c_str(), stdout);
+        return true;
+    }
+    std::ofstream os(path, std::ios::binary);
+    os << text;
+    os.close();
+    if (!os) {
+        std::fprintf(stderr, "pifetch: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+/** Human report wanted? Not when structured output owns stdout. */
+bool
+wantReport(const CliOptions &opts)
+{
+    return !opts.quiet && opts.jsonPath != "-" && opts.csvPath != "-";
+}
+
+bool
+emitOutputs(const CliOptions &opts, const ResultValue &doc)
+{
+    if (wantReport(opts))
+        std::fputs(renderText(doc).c_str(), stdout);
+    if (!opts.jsonPath.empty() &&
+        !writeOutput(opts.jsonPath, toJson(doc, 2) + "\n"))
+        return false;
+    if (!opts.csvPath.empty() && !writeOutput(opts.csvPath, toCsv(doc)))
+        return false;
+    return true;
+}
+
+int
+cmdList()
+{
+    std::printf("%-16s %s\n", "name", "description");
+    for (const ExperimentSpec &spec : experimentRegistry())
+        std::printf("%-16s %s\n", spec.name.c_str(),
+                    spec.description.c_str());
+    std::printf("\nconfig override keys (--set / --param):\n ");
+    for (const std::string &k : configOverrideKeys())
+        std::printf(" %s", k.c_str());
+    std::printf("\n");
+    return 0;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr, "pifetch run: missing experiment name\n");
+        return 2;
+    }
+    const ExperimentSpec *spec = findExperiment(argv[2]);
+    if (!spec) {
+        std::fprintf(stderr,
+                     "pifetch: unknown experiment '%s' "
+                     "(try `pifetch list`)\n", argv[2]);
+        return 2;
+    }
+    CliOptions opts;
+    // Seed from the experiment's own defaults so a lone --warmup or
+    // --measure adjusts one half without resetting the other.
+    opts.run.budget = spec->defaultBudget;
+    if (!parseOptions(argc, argv, 3, false, opts))
+        return 2;
+    if (!spec->usesConfig && opts.configTouched) {
+        std::fprintf(stderr,
+                     "pifetch: '%s' is an analysis-only study; "
+                     "--seed/--set have no effect on it\n",
+                     spec->name.c_str());
+        return 2;
+    }
+    const ResultValue doc = runExperiment(*spec, opts.run);
+    return emitOutputs(opts, doc) ? 0 : 1;
+}
+
+int
+cmdSweep(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "pifetch sweep: missing experiment name\n");
+        return 2;
+    }
+    const ExperimentSpec *spec = findExperiment(argv[2]);
+    if (!spec) {
+        std::fprintf(stderr,
+                     "pifetch: unknown experiment '%s' "
+                     "(try `pifetch list`)\n", argv[2]);
+        return 2;
+    }
+    CliOptions opts;
+    opts.run.budget = spec->defaultBudget;
+    if (!parseOptions(argc, argv, 3, true, opts))
+        return 2;
+    if (opts.grid.empty()) {
+        std::fprintf(stderr,
+                     "pifetch sweep: need at least one --param\n");
+        return 2;
+    }
+    if (!spec->usesConfig) {
+        // Every sweepable parameter is a config override, and this
+        // runner never reads the config — the grid would rerun the
+        // identical study labeled as varied.
+        std::fprintf(stderr,
+                     "pifetch sweep: '%s' is an analysis-only study "
+                     "that ignores configuration parameters\n",
+                     spec->name.c_str());
+        return 2;
+    }
+    if (!opts.csvPath.empty()) {
+        std::fprintf(stderr,
+                     "pifetch sweep: --csv is not supported; use "
+                     "--json\n");
+        return 2;
+    }
+
+    // Validate every grid value against a scratch config up front so
+    // a typo fails before hours of simulation.
+    for (const auto &[key, values] : opts.grid) {
+        if (key == "threads") {
+            // Results are thread-invariant and each grid point is
+            // pinned serial — a threads axis would only oversubscribe.
+            std::fprintf(stderr,
+                         "pifetch sweep: 'threads' is not sweepable "
+                         "(results are thread-invariant); use "
+                         "--threads for the fan-out width\n");
+            return 2;
+        }
+        for (const std::string &v : values) {
+            SystemConfig scratch = opts.run.cfg;
+            if (!applyConfigOverride(scratch, key, v)) {
+                std::fprintf(stderr,
+                             "pifetch sweep: bad --param %s=%s\n",
+                             key.c_str(), v.c_str());
+                return 2;
+            }
+        }
+    }
+
+    // Cartesian product, first --param outermost.
+    std::size_t points = 1;
+    for (const auto &[key, values] : opts.grid)
+        points *= values.size();
+
+    struct Point
+    {
+        std::vector<std::pair<std::string, std::string>> params;
+        ResultValue doc;
+    };
+    std::vector<Point> grid(points);
+    for (std::size_t p = 0; p < points; ++p) {
+        std::size_t rest = p;
+        for (auto it = opts.grid.rbegin(); it != opts.grid.rend();
+             ++it) {
+            const std::size_t n = it->second.size();
+            grid[p].params.emplace_back(it->first,
+                                        it->second[rest % n]);
+            rest /= n;
+        }
+        std::reverse(grid[p].params.begin(), grid[p].params.end());
+    }
+
+    // Grid points fan over the pool; each point runs serially inside
+    // (threads = 1) so the fan-out is the only parallelism.
+    const unsigned threads = opts.run.cfg.threads;
+    parallelFor(threads, points, [&](std::uint64_t p) {
+        RunOptions point = opts.run;
+        point.cfg.threads = 1;
+        for (const auto &[key, value] : grid[p].params)
+            applyConfigOverride(point.cfg, key, value);
+        grid[p].doc = runExperiment(*spec, point);
+    });
+
+    ResultValue runs = ResultValue::array();
+    for (Point &point : grid) {
+        ResultValue params = ResultValue::object();
+        for (const auto &[key, value] : point.params)
+            params.set(key, value);
+        ResultValue entry = ResultValue::object();
+        entry.set("params", std::move(params));
+        entry.set("result", std::move(point.doc));
+        runs.push(std::move(entry));
+    }
+    ResultValue doc = ResultValue::object();
+    doc.set("experiment", spec->name);
+    doc.set("sweep", true);
+    doc.set("points", points);
+    doc.set("runs", std::move(runs));
+
+    if (wantReport(opts)) {
+        for (std::size_t p = 0; p < points; ++p) {
+            std::printf("--- point %zu/%zu:", p + 1, points);
+            for (const auto &[key, value] : grid[p].params)
+                std::printf(" %s=%s", key.c_str(), value.c_str());
+            std::printf(" ---\n");
+            const ResultValue *result =
+                doc.find("runs")->at(p).find("result");
+            std::fputs(renderText(*result).c_str(), stdout);
+        }
+    }
+    if (!opts.jsonPath.empty() &&
+        !writeOutput(opts.jsonPath, toJson(doc, 2) + "\n"))
+        return 1;
+    return 0;
+}
+
+int
+cmdGolden(int argc, char **argv)
+{
+    if (argc >= 3 && std::strcmp(argv[2], "--list") == 0) {
+        for (const GoldenEntry &e : goldenSuite())
+            std::printf("%s\n", e.experiment.c_str());
+        return 0;
+    }
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "pifetch golden: expected --list or an "
+                     "experiment name\n");
+        return 2;
+    }
+    for (const GoldenEntry &e : goldenSuite()) {
+        if (e.experiment == argv[2]) {
+            std::fputs(goldenJson(e).c_str(), stdout);
+            return 0;
+        }
+    }
+    std::fprintf(stderr,
+                 "pifetch golden: '%s' is not in the golden suite "
+                 "(see --list)\n", argv[2]);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(stderr);
+    const std::string cmd = argv[1];
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "run")
+        return cmdRun(argc, argv);
+    if (cmd == "sweep")
+        return cmdSweep(argc, argv);
+    if (cmd == "golden")
+        return cmdGolden(argc, argv);
+    if (cmd == "help" || cmd == "--help" || cmd == "-h")
+        return usage(stdout);
+    std::fprintf(stderr, "pifetch: unknown command '%s'\n",
+                 cmd.c_str());
+    return usage(stderr);
+}

@@ -45,20 +45,9 @@ usage(const char *argv0)
 ServerWorkload
 parseWorkload(const std::string &s)
 {
-    const struct { const char *name; ServerWorkload w; } table[] = {
-        {"db2", ServerWorkload::OltpDb2},
-        {"oracle", ServerWorkload::OltpOracle},
-        {"qry2", ServerWorkload::DssQry2},
-        {"qry17", ServerWorkload::DssQry17},
-        {"apache", ServerWorkload::WebApache},
-        {"zeus", ServerWorkload::WebZeus},
-    };
-    for (const auto &e : table) {
-        if (s == e.name)
-            return e.w;
-    }
-    if (!s.empty() && s[0] >= '0' && s[0] <= '5')
-        return allServerWorkloads()[static_cast<std::size_t>(s[0] - '0')];
+    // Shared parser with the pifetch CLI (trace/server_suite.hh).
+    if (const auto w = workloadFromName(s))
+        return *w;
     std::fprintf(stderr, "unknown workload '%s'\n", s.c_str());
     std::exit(1);
 }

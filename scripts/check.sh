@@ -2,9 +2,14 @@
 # One-shot tier-1 verify, exactly as ROADMAP.md states it:
 #   cmake -B build -S . && cmake --build build -j && \
 #   cd build && ctest --output-on-failure -j
+# plus a smoke of the pifetch experiment CLI.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -S . && cmake --build build -j && cd build && \
+cmake -B build -S . -DPIFETCH_BUILD_EXAMPLES=ON && \
+    cmake --build build -j && cd build && \
     ctest --output-on-failure -j
+
+# The CLI must enumerate the experiment registry.
+./pifetch list

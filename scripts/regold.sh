@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerate the golden-snapshot fixtures in tests/golden/.
+#
+# Run this ONLY when a simulator behavior change is intentional; the
+# golden suite (tests/test_golden.cc) exists so that unintentional
+# numeric drift fails CI. Commit the regenerated fixtures together
+# with the change that moved the numbers and explain the delta in the
+# commit message.
+#
+# The fixtures are canonical JSON from `pifetch golden <experiment>`:
+# pinned small budgets, pinned metadata, no git/thread/host fields.
+# Results are bit-identical at any PIFETCH_THREADS, so the regold
+# output does not depend on this machine's core count.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DPIFETCH_BUILD_EXAMPLES=ON
+cmake --build build -j --target pifetch_cli
+
+mkdir -p tests/golden
+for exp in $(./build/pifetch golden --list); do
+    echo "regold: ${exp}"
+    ./build/pifetch golden "${exp}" > "tests/golden/${exp}.json"
+done
+
+echo "regenerated $(ls tests/golden/*.json | wc -l) fixtures;" \
+     "review the diff before committing:"
+git --no-pager diff --stat -- tests/golden || true

@@ -5,14 +5,67 @@
 
 #include "common/stats.hh"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace pifetch {
 
 Counter::Counter(StatGroup &group, std::string name, std::string desc)
-    : name_(std::move(name)), desc_(std::move(desc))
+    : group_(&group), name_(std::move(name)), desc_(std::move(desc))
 {
     group.enroll(this);
+}
+
+Counter::~Counter()
+{
+    if (group_)
+        group_->unenroll(this);
+}
+
+Counter::Counter(Counter &&other) noexcept
+    : group_(other.group_), name_(std::move(other.name_)),
+      desc_(std::move(other.desc_)), value_(other.value_)
+{
+    if (group_) {
+        group_->reenroll(&other, this);
+        other.group_ = nullptr;
+    }
+    other.value_ = 0;
+}
+
+Counter &
+Counter::operator=(Counter &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    if (group_)
+        group_->unenroll(this);
+    group_ = other.group_;
+    name_ = std::move(other.name_);
+    desc_ = std::move(other.desc_);
+    value_ = other.value_;
+    if (group_) {
+        group_->reenroll(&other, this);
+        other.group_ = nullptr;
+    }
+    other.value_ = 0;
+    return *this;
+}
+
+void
+StatGroup::unenroll(const Counter *c)
+{
+    counters_.erase(std::remove(counters_.begin(), counters_.end(), c),
+                    counters_.end());
+}
+
+void
+StatGroup::reenroll(const Counter *from, Counter *to)
+{
+    for (Counter *&slot : counters_) {
+        if (slot == from)
+            slot = to;
+    }
 }
 
 void

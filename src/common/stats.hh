@@ -23,7 +23,14 @@ class StatGroup;
  * A named 64-bit event counter.
  *
  * Counters are value types owned by components; registration with a
- * StatGroup is optional but enables bulk reporting.
+ * StatGroup is optional but enables bulk reporting. A registered
+ * counter keeps its enrollment consistent across its lifetime: moving
+ * it re-enrolls the new object in place of the old (so containers of
+ * counters may reallocate safely) and destroying it unenrolls.
+ * Copying is disabled — a copy would either dangle or double-report
+ * under the same name. The owning StatGroup must outlive its
+ * registered counters; declare the group before the counters so
+ * members destruct in the right order.
  */
 class Counter
 {
@@ -32,6 +39,15 @@ class Counter
 
     /** Register the counter under @p group with a name and description. */
     Counter(StatGroup &group, std::string name, std::string desc);
+
+    ~Counter();
+
+    Counter(const Counter &) = delete;
+    Counter &operator=(const Counter &) = delete;
+
+    /** Transfers the enrollment: @p other leaves its group. */
+    Counter(Counter &&other) noexcept;
+    Counter &operator=(Counter &&other) noexcept;
 
     Counter &operator++() { ++value_; return *this; }
     Counter &operator+=(std::uint64_t n) { value_ += n; return *this; }
@@ -45,7 +61,11 @@ class Counter
     const std::string &name() const { return name_; }
     const std::string &desc() const { return desc_; }
 
+    /** The group this counter is enrolled in (nullptr if none). */
+    const StatGroup *group() const { return group_; }
+
   private:
+    StatGroup *group_ = nullptr;
     std::string name_;
     std::string desc_;
     std::uint64_t value_ = 0;
@@ -54,8 +74,9 @@ class Counter
 /**
  * A collection of counters belonging to one component.
  *
- * The group stores non-owning pointers; counters must outlive the group
- * uses (components own both, so lifetimes coincide naturally).
+ * The group stores non-owning pointers that the counters themselves
+ * keep up to date (see Counter). The group is pinned: counters hold a
+ * back-pointer to it, so it can be neither copied nor moved.
  */
 class StatGroup
 {
@@ -63,8 +84,17 @@ class StatGroup
     /** @param name Prefix printed before each counter ("l1i", "pif"...). */
     explicit StatGroup(std::string name) : name_(std::move(name)) {}
 
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
     /** Called by Counter's registering constructor. */
     void enroll(Counter *c) { counters_.push_back(c); }
+
+    /** Called by Counter's destructor; removes @p c if present. */
+    void unenroll(const Counter *c);
+
+    /** Called by Counter's move operations: @p to replaces @p from. */
+    void reenroll(const Counter *from, Counter *to);
 
     /** Dump "group.counter value # desc" lines to @p os. */
     void dump(std::ostream &os) const;
@@ -73,6 +103,9 @@ class StatGroup
     void resetAll();
 
     const std::string &name() const { return name_; }
+
+    /** The registered counters, in enrollment order. */
+    const std::vector<Counter *> &counters() const { return counters_; }
 
   private:
     std::string name_;

@@ -1,0 +1,1061 @@
+/**
+ * @file
+ * Experiment registry implementation.
+ *
+ * Each runner ports one bench binary's figure-reproduction loop into
+ * a structured-result producer. Workload fan-out uses the worker pool
+ * (common/parallel.hh) with results landing in fixed slots, so every
+ * document is bit-identical at any thread count.
+ */
+
+#include "sim/registry.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <type_traits>
+
+#include "common/parallel.hh"
+#include "common/types.hh"
+#include "pif/pif_prefetcher.hh"
+#include "pif/storage.hh"
+#include "prefetch/next_line.hh"
+#include "sim/multicore.hh"
+#include "sim/workloads.hh"
+
+namespace pifetch {
+
+namespace {
+
+std::vector<ServerWorkload>
+workloadsOf(const ExperimentSpec &spec, const RunOptions &opts)
+{
+    return opts.workloads.empty() ? spec.defaultWorkloads
+                                  : opts.workloads;
+}
+
+ExperimentBudget
+budgetOf(const ExperimentSpec &spec, const RunOptions &opts)
+{
+    return opts.budget ? *opts.budget : spec.defaultBudget;
+}
+
+/** Standard row prefix: workload class and display name. */
+void
+pushWorkloadCells(ResultValue &row, ServerWorkload w)
+{
+    row.push(workloadGroup(w));
+    row.push(workloadName(w));
+}
+
+// --------------------------------------------------------- Table I
+
+ResultValue
+runTable1(const ExperimentSpec &spec, const RunOptions &opts)
+{
+    const SystemConfig &cfg = opts.cfg;
+
+    ResultValue system = makeTable(
+        "System parameters (Table I left)", {"parameter", "value"});
+    {
+        ResultValue &rows = *system.find("rows");
+        const auto add = [&rows](const std::string &k, ResultValue v) {
+            ResultValue row = ResultValue::array();
+            row.push(k);
+            row.push(std::move(v));
+            rows.push(std::move(row));
+        };
+        add("cores", cfg.numCores);
+        add("l1i_bytes", cfg.l1i.sizeBytes);
+        add("l1i_assoc", cfg.l1i.assoc);
+        add("l1d_bytes", cfg.l1d.sizeBytes);
+        add("block_bytes", cfg.l1i.blockBytes);
+        add("rob_entries", cfg.core.robEntries);
+        add("dispatch_width", cfg.core.dispatchWidth);
+        add("l2_bytes", cfg.memory.l2SizeBytes);
+        add("l2_hit_latency", cfg.memory.l2HitLatency);
+        add("mem_latency", cfg.memory.memLatency);
+        add("interconnect_latency", cfg.memory.interconnectLatency);
+        add("branch_gshare_entries", cfg.branch.gshareEntries);
+        add("pif_history_regions", cfg.pif.historyRegions);
+        add("pif_region_blocks", cfg.pif.regionBlocks());
+        add("pif_sabs", cfg.pif.numSabs);
+    }
+
+    ResultValue storage = makeTable(
+        "Predictor storage (Section 5.4 trade-off)",
+        {"structure", "kib"});
+    {
+        const PifStorage s = computePifStorage(cfg.pif);
+        ResultValue &rows = *storage.find("rows");
+        const auto add = [&rows](const std::string &k, double kib) {
+            ResultValue row = ResultValue::array();
+            row.push(k);
+            row.push(kib);
+            rows.push(std::move(row));
+        };
+        add("pif_history", s.historyBits / 8192.0);
+        add("pif_index", s.indexBits / 8192.0);
+        add("pif_sabs", s.sabBits / 8192.0);
+        add("pif_compactors", s.compactorBits / 8192.0);
+        add("pif_total", s.totalKiB());
+        add("tifs_equal_capacity", tifsStorageBits(cfg.tifs) / 8192.0);
+    }
+
+    const std::vector<ServerWorkload> ws = workloadsOf(spec, opts);
+    ResultValue app = makeTable(
+        "Application parameters (Table I right, synthetic equivalents)",
+        {"group", "workload", "footprint_mb", "app_functions",
+         "lib_functions", "transactions", "interrupt_rate"});
+    {
+        std::vector<std::uint64_t> footprint(ws.size(), 0);
+        parallelFor(cfg.threads, ws.size(), [&](std::uint64_t i) {
+            footprint[i] = buildWorkloadProgram(ws[i]).footprintBytes();
+        });
+        ResultValue &rows = *app.find("rows");
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+            const WorkloadParams p = workloadParams(ws[i]);
+            ResultValue row = ResultValue::array();
+            pushWorkloadCells(row, ws[i]);
+            row.push(static_cast<double>(footprint[i]) / (1 << 20));
+            row.push(p.appFunctions);
+            row.push(p.libFunctions);
+            row.push(p.transactions);
+            row.push(p.interruptRate);
+            rows.push(std::move(row));
+        }
+    }
+
+    ResultValue body = ResultValue::object();
+    body.set("tables", ResultValue::array()
+                           .push(std::move(system))
+                           .push(std::move(storage))
+                           .push(std::move(app)));
+    return body;
+}
+
+// --------------------------------------------------------- Figure 2
+
+ResultValue
+runFig2Body(const ExperimentSpec &spec, const RunOptions &opts)
+{
+    const std::vector<ServerWorkload> ws = workloadsOf(spec, opts);
+    const ExperimentBudget budget = budgetOf(spec, opts);
+
+    std::vector<Fig2Result> rs(ws.size());
+    parallelFor(opts.cfg.threads, ws.size(), [&](std::uint64_t i) {
+        rs[i] = runFig2(ws[i], budget, opts.cfg);
+    });
+
+    ResultValue t = makeTable(
+        "Correctly predicted correct-path L1-I misses (fraction)",
+        {"group", "workload", "miss", "access", "retire",
+         "retire_sep", "correct_path_misses"});
+    ResultValue &rows = *t.find("rows");
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+        ResultValue row = ResultValue::array();
+        pushWorkloadCells(row, ws[i]);
+        row.push(rs[i].missCoverage);
+        row.push(rs[i].accessCoverage);
+        row.push(rs[i].retireCoverage);
+        row.push(rs[i].retireSepCoverage);
+        row.push(rs[i].correctPathMisses);
+        rows.push(std::move(row));
+    }
+    ResultValue body = ResultValue::object();
+    body.set("tables", ResultValue::array().push(std::move(t)));
+    return body;
+}
+
+// --------------------------------------------------------- Figure 3
+
+ResultValue
+runFig3Body(const ExperimentSpec &spec, const RunOptions &opts)
+{
+    const std::vector<ServerWorkload> ws = workloadsOf(spec, opts);
+    const InstCount instrs = budgetOf(spec, opts).measure;
+
+    std::vector<Fig3Result> rs;
+    rs.resize(ws.size(), Fig3Result{});
+    parallelFor(opts.cfg.threads, ws.size(), [&](std::uint64_t i) {
+        rs[i] = runFig3(ws[i], instrs);
+    });
+
+    const auto histTable = [&](const char *title, bool density) {
+        std::vector<std::string> cols = {"group", "workload"};
+        const RangeHistogram &sample =
+            density ? rs.front().density : rs.front().groups;
+        for (unsigned b = 0; b < sample.ranges(); ++b)
+            cols.push_back(sample.labelAt(b));
+        if (density)
+            cols.push_back("regions");
+        ResultValue t = makeTable(title, cols);
+        ResultValue &rows = *t.find("rows");
+        for (std::size_t i = 0; i < ws.size(); ++i) {
+            const RangeHistogram &h =
+                density ? rs[i].density : rs[i].groups;
+            ResultValue row = ResultValue::array();
+            pushWorkloadCells(row, ws[i]);
+            for (unsigned b = 0; b < h.ranges(); ++b)
+                row.push(h.fractionAt(b));
+            if (density)
+                row.push(rs[i].regions);
+            rows.push(std::move(row));
+        }
+        return t;
+    };
+
+    ResultValue body = ResultValue::object();
+    body.set("tables",
+             ResultValue::array()
+                 .push(histTable("References to spatial regions by "
+                                 "density (unique blocks)", true))
+                 .push(histTable("Discontinuous access groups within "
+                                 "regions", false)));
+    return body;
+}
+
+// ------------------------------------------- Figures 7 / 9 (left)
+
+/** Shared shape: per-workload cumulative log2 histogram table. */
+ResultValue
+cumulativeLog2Body(const std::vector<ServerWorkload> &ws,
+                   const std::vector<Log2Histogram> &hists,
+                   unsigned bucket_cap, const char *title)
+{
+    unsigned max_bucket = 1;
+    for (const Log2Histogram &h : hists)
+        max_bucket = std::max(max_bucket, h.highestBucket());
+    max_bucket = std::min(max_bucket, bucket_cap);
+
+    std::vector<std::string> cols = {"log2"};
+    for (ServerWorkload w : ws)
+        cols.push_back(workloadName(w));
+    ResultValue t = makeTable(title, cols);
+    ResultValue &rows = *t.find("rows");
+    for (unsigned b = 0; b <= max_bucket; ++b) {
+        ResultValue row = ResultValue::array();
+        row.push(b);
+        for (const Log2Histogram &h : hists)
+            row.push(h.cumulativeAt(b));
+        rows.push(std::move(row));
+    }
+    ResultValue body = ResultValue::object();
+    body.set("tables", ResultValue::array().push(std::move(t)));
+    return body;
+}
+
+ResultValue
+runFig7Body(const ExperimentSpec &spec, const RunOptions &opts)
+{
+    const std::vector<ServerWorkload> ws = workloadsOf(spec, opts);
+    const InstCount instrs = budgetOf(spec, opts).measure;
+    std::vector<Log2Histogram> hists(ws.size(), Log2Histogram(1));
+    parallelFor(opts.cfg.threads, ws.size(), [&](std::uint64_t i) {
+        hists[i] = runFig7(ws[i], instrs);
+    });
+    return cumulativeLog2Body(
+        ws, hists, 25,
+        "Weighted jump distance in history (cumulative fraction)");
+}
+
+ResultValue
+runFig9LeftBody(const ExperimentSpec &spec, const RunOptions &opts)
+{
+    const std::vector<ServerWorkload> ws = workloadsOf(spec, opts);
+    const InstCount instrs = budgetOf(spec, opts).measure;
+    std::vector<Log2Histogram> hists(ws.size(), Log2Histogram(1));
+    parallelFor(opts.cfg.threads, ws.size(), [&](std::uint64_t i) {
+        hists[i] = runFig9Left(ws[i], instrs);
+    });
+    return cumulativeLog2Body(
+        ws, hists, 21,
+        "Correct predictions by temporal stream length "
+        "(cumulative fraction, log2 regions)");
+}
+
+// --------------------------------------------------------- Figure 8
+
+ResultValue
+runFig8LeftBody(const ExperimentSpec &spec, const RunOptions &opts)
+{
+    const std::vector<ServerWorkload> ws = workloadsOf(spec, opts);
+    const InstCount instrs = budgetOf(spec, opts).measure;
+
+    std::vector<LinearHistogram> hists(ws.size(),
+                                       LinearHistogram(-4, 12));
+    parallelFor(opts.cfg.threads, ws.size(), [&](std::uint64_t i) {
+        hists[i] = runFig8Left(ws[i], instrs);
+    });
+
+    // The paper aggregates by workload class; preserve the class
+    // order of the selected workloads.
+    std::vector<std::string> groups;
+    for (ServerWorkload w : ws) {
+        const std::string g = workloadGroup(w);
+        if (std::find(groups.begin(), groups.end(), g) == groups.end())
+            groups.push_back(g);
+    }
+    std::vector<LinearHistogram> sums(groups.size(),
+                                      LinearHistogram(-4, 12));
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+        const std::size_t g = static_cast<std::size_t>(
+            std::find(groups.begin(), groups.end(),
+                      workloadGroup(ws[i])) -
+            groups.begin());
+        for (int off = -4; off <= 12; ++off) {
+            if (off != 0)
+                sums[g].add(off, hists[i].weightAt(off));
+        }
+    }
+
+    std::vector<std::string> cols = {"offset"};
+    cols.insert(cols.end(), groups.begin(), groups.end());
+    ResultValue t = makeTable(
+        "References within spatial regions by distance from trigger "
+        "(fraction)", cols);
+    ResultValue &rows = *t.find("rows");
+    for (int off = -4; off <= 12; ++off) {
+        if (off == 0)
+            continue;
+        ResultValue row = ResultValue::array();
+        row.push(off);
+        for (const LinearHistogram &h : sums)
+            row.push(h.fractionAt(off));
+        rows.push(std::move(row));
+    }
+    ResultValue body = ResultValue::object();
+    body.set("tables", ResultValue::array().push(std::move(t)));
+    return body;
+}
+
+ResultValue
+runFig8RightBody(const ExperimentSpec &spec, const RunOptions &opts)
+{
+    const std::vector<ServerWorkload> ws = workloadsOf(spec, opts);
+    const ExperimentBudget budget = budgetOf(spec, opts);
+
+    std::vector<std::vector<Fig8RightPoint>> rs(ws.size());
+    parallelFor(opts.cfg.threads, ws.size(), [&](std::uint64_t i) {
+        rs[i] = runFig8Right(ws[i], budget, opts.cfg);
+    });
+
+    std::vector<std::string> cols = {"group", "workload", "trap_level"};
+    for (const Fig8RightPoint &p : rs.front())
+        cols.push_back("r" + std::to_string(p.regionBlocks));
+    ResultValue t = makeTable(
+        "PIF coverage vs spatial region size (fraction)", cols);
+    ResultValue &rows = *t.find("rows");
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+        for (const unsigned tl : {0u, 1u}) {
+            ResultValue row = ResultValue::array();
+            pushWorkloadCells(row, ws[i]);
+            row.push("TL" + std::to_string(tl));
+            for (const Fig8RightPoint &p : rs[i])
+                row.push(tl == 0 ? p.tl0Coverage : p.tl1Coverage);
+            rows.push(std::move(row));
+        }
+    }
+    ResultValue body = ResultValue::object();
+    body.set("tables", ResultValue::array().push(std::move(t)));
+    return body;
+}
+
+// ------------------------------------------------ Figure 9 (right)
+
+ResultValue
+runFig9RightBody(const ExperimentSpec &spec, const RunOptions &opts)
+{
+    const std::vector<ServerWorkload> ws = workloadsOf(spec, opts);
+    const ExperimentBudget budget = budgetOf(spec, opts);
+    const std::vector<std::uint64_t> sizes = {
+        2 * 1024, 8 * 1024, 32 * 1024, 128 * 1024, 512 * 1024,
+    };
+
+    std::vector<std::vector<Fig9RightPoint>> rs(ws.size());
+    parallelFor(opts.cfg.threads, ws.size(), [&](std::uint64_t i) {
+        rs[i] = runFig9Right(ws[i], budget, sizes, opts.cfg);
+    });
+
+    std::vector<std::string> cols = {"history_regions"};
+    for (ServerWorkload w : ws)
+        cols.push_back(workloadName(w));
+    ResultValue t = makeTable(
+        "PIF predictor coverage vs history size (fraction)", cols);
+    ResultValue &rows = *t.find("rows");
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        ResultValue row = ResultValue::array();
+        row.push(sizes[s]);
+        for (const auto &points : rs)
+            row.push(points[s].coverage);
+        rows.push(std::move(row));
+    }
+    ResultValue body = ResultValue::object();
+    body.set("tables", ResultValue::array().push(std::move(t)));
+    return body;
+}
+
+// -------------------------------------------------------- Figure 10
+
+ResultValue
+runFig10CoverageBody(const ExperimentSpec &spec, const RunOptions &opts)
+{
+    const std::vector<ServerWorkload> ws = workloadsOf(spec, opts);
+    const ExperimentBudget budget = budgetOf(spec, opts);
+
+    ResultValue t = makeTable(
+        "L1-I miss coverage, no storage limitation (fraction)",
+        {"group", "workload", "next_line", "tifs", "pif",
+         "baseline_misses"});
+    ResultValue &rows = *t.find("rows");
+    // The inner runner fans one engine per prefetcher over the pool;
+    // the workload loop stays serial to avoid nested fan-out.
+    for (ServerWorkload w : ws) {
+        const auto points = runFig10Coverage(w, budget, opts.cfg);
+        double nl = 0.0;
+        double tifs = 0.0;
+        double pif = 0.0;
+        std::uint64_t base = 0;
+        for (const auto &p : points) {
+            base = p.baselineMisses;
+            if (p.kind == PrefetcherKind::NextLine)
+                nl = p.missCoverage;
+            if (p.kind == PrefetcherKind::Tifs)
+                tifs = p.missCoverage;
+            if (p.kind == PrefetcherKind::Pif)
+                pif = p.missCoverage;
+        }
+        ResultValue row = ResultValue::array();
+        pushWorkloadCells(row, w);
+        row.push(nl);
+        row.push(tifs);
+        row.push(pif);
+        row.push(base);
+        rows.push(std::move(row));
+    }
+    ResultValue body = ResultValue::object();
+    body.set("tables", ResultValue::array().push(std::move(t)));
+    return body;
+}
+
+ResultValue
+runFig10SpeedupBody(const ExperimentSpec &spec, const RunOptions &opts)
+{
+    const std::vector<ServerWorkload> ws = workloadsOf(spec, opts);
+    const ExperimentBudget budget = budgetOf(spec, opts);
+
+    ResultValue t = makeTable(
+        "Speedup over the no-prefetch baseline (UIPC ratio)",
+        {"group", "workload", "next_line", "tifs", "pif", "perfect",
+         "baseline_uipc"});
+    ResultValue &rows = *t.find("rows");
+    double geo_pif = 1.0;
+    double geo_perfect = 1.0;
+    for (ServerWorkload w : ws) {
+        const auto points = runFig10Speedup(w, budget, opts.cfg);
+        double base_uipc = 0.0;
+        double nl = 0.0;
+        double tifs = 0.0;
+        double pif = 0.0;
+        double perfect = 0.0;
+        for (const auto &p : points) {
+            switch (p.kind) {
+              case PrefetcherKind::None:     base_uipc = p.uipc; break;
+              case PrefetcherKind::NextLine: nl = p.speedup; break;
+              case PrefetcherKind::Tifs:     tifs = p.speedup; break;
+              case PrefetcherKind::Pif:      pif = p.speedup; break;
+              case PrefetcherKind::Perfect:  perfect = p.speedup; break;
+              default: break;
+            }
+        }
+        ResultValue row = ResultValue::array();
+        pushWorkloadCells(row, w);
+        row.push(nl);
+        row.push(tifs);
+        row.push(pif);
+        row.push(perfect);
+        row.push(base_uipc);
+        rows.push(std::move(row));
+        geo_pif *= pif;
+        geo_perfect *= perfect;
+    }
+
+    const double n = static_cast<double>(ws.size());
+    ResultValue geo = makeTable("Geometric-mean speedup",
+                                {"prefetcher", "speedup"});
+    ResultValue &geo_rows = *geo.find("rows");
+    const auto add = [&geo_rows](const char *name, double product,
+                                 double count) {
+        ResultValue row = ResultValue::array();
+        row.push(name);
+        row.push(count == 1.0 ? product
+                              : std::pow(product, 1.0 / count));
+        geo_rows.push(std::move(row));
+    };
+    add("PIF", geo_pif, n);
+    add("Perfect", geo_perfect, n);
+
+    ResultValue body = ResultValue::object();
+    body.set("tables", ResultValue::array()
+                           .push(std::move(t))
+                           .push(std::move(geo)));
+    return body;
+}
+
+// --------------------------------------------------------- Ablation
+
+ResultValue
+runAblationBody(const ExperimentSpec &spec, const RunOptions &opts)
+{
+    // Single-workload study: only the first selection runs, and the
+    // body reports that back so meta.workloads never over-claims.
+    const ServerWorkload w = workloadsOf(spec, opts).front();
+    const ExperimentBudget budget = budgetOf(spec, opts);
+    const Program prog = buildWorkloadProgram(w);
+    const SystemConfig &base = opts.cfg;
+
+    const auto runPif = [&](const SystemConfig &cfg) {
+        TraceEngine engine(cfg, prog, executorConfigFor(w),
+                           std::make_unique<PifPrefetcher>(cfg.pif));
+        return engine.run(budget.warmup, budget.measure);
+    };
+
+    ResultValue tables = ResultValue::array();
+
+    {
+        const std::vector<unsigned> depths = {1, 2, 4, 8, 16};
+        std::vector<TraceRunResult> rs(depths.size());
+        parallelFor(base.threads, depths.size(), [&](std::uint64_t i) {
+            SystemConfig cfg = base;
+            cfg.pif.temporalEntries = depths[i];
+            rs[i] = runPif(cfg);
+        });
+        ResultValue t = makeTable(
+            "Temporal compactor depth (PIF on " + workloadName(w) + ")",
+            {"entries", "coverage", "issued_per_kinst", "miss_ratio"});
+        ResultValue &rows = *t.find("rows");
+        for (std::size_t i = 0; i < depths.size(); ++i) {
+            ResultValue row = ResultValue::array();
+            row.push(depths[i]);
+            row.push(rs[i].pifCoverage);
+            row.push(static_cast<double>(rs[i].prefetchIssued) *
+                     1000.0 / static_cast<double>(rs[i].instrs));
+            row.push(rs[i].missRatio());
+            rows.push(std::move(row));
+        }
+        tables.push(std::move(t));
+    }
+
+    {
+        struct Grid { unsigned sabs, window; };
+        std::vector<Grid> grid;
+        for (unsigned sabs : {1u, 2u, 4u, 8u})
+            for (unsigned window : {3u, 7u, 15u})
+                grid.push_back({sabs, window});
+        std::vector<TraceRunResult> rs(grid.size());
+        parallelFor(base.threads, grid.size(), [&](std::uint64_t i) {
+            SystemConfig cfg = base;
+            cfg.pif.numSabs = grid[i].sabs;
+            cfg.pif.sabWindowRegions = grid[i].window;
+            rs[i] = runPif(cfg);
+        });
+        ResultValue t = makeTable(
+            "SAB count x window (paper: 4 SABs x 7 regions)",
+            {"sabs", "window", "coverage", "miss_ratio"});
+        ResultValue &rows = *t.find("rows");
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            ResultValue row = ResultValue::array();
+            row.push(grid[i].sabs);
+            row.push(grid[i].window);
+            row.push(rs[i].pifCoverage);
+            row.push(rs[i].missRatio());
+            rows.push(std::move(row));
+        }
+        tables.push(std::move(t));
+    }
+
+    {
+        std::vector<TraceRunResult> rs(2);
+        parallelFor(base.threads, 2, [&](std::uint64_t i) {
+            SystemConfig cfg = base;
+            cfg.pif.separateTrapLevels = i == 1;
+            rs[i] = runPif(cfg);
+        });
+        ResultValue t = makeTable(
+            "Trap-level stream separation",
+            {"separate", "coverage", "miss_ratio"});
+        ResultValue &rows = *t.find("rows");
+        for (std::size_t i = 0; i < rs.size(); ++i) {
+            ResultValue row = ResultValue::array();
+            row.push(i == 1);
+            row.push(rs[i].pifCoverage);
+            row.push(rs[i].missRatio());
+            rows.push(std::move(row));
+        }
+        tables.push(std::move(t));
+    }
+
+    {
+        const std::vector<std::uint64_t> totals = {8192, 32768};
+        std::vector<SharedPifStudyResult> rs(totals.size());
+        // runSharedPifStudy interleaves its engines itself; keep the
+        // outer loop serial to bound concurrent engine count.
+        for (std::size_t i = 0; i < totals.size(); ++i) {
+            rs[i] = runSharedPifStudy(w, 4, totals[i],
+                                      budget.warmup / 2,
+                                      budget.measure / 2, base);
+        }
+        ResultValue t = makeTable(
+            "Shared vs private PIF storage (4 cores)",
+            {"total_regions", "private_coverage", "shared_coverage",
+             "private_miss_ratio", "shared_miss_ratio"});
+        ResultValue &rows = *t.find("rows");
+        for (std::size_t i = 0; i < totals.size(); ++i) {
+            ResultValue row = ResultValue::array();
+            row.push(totals[i]);
+            row.push(rs[i].privateCoverage);
+            row.push(rs[i].sharedCoverage);
+            row.push(rs[i].privateMissRatio);
+            row.push(rs[i].sharedMissRatio);
+            rows.push(std::move(row));
+        }
+        tables.push(std::move(t));
+    }
+
+    {
+        const std::vector<unsigned> degrees = {1, 2, 4, 8};
+        std::vector<TraceRunResult> rs(degrees.size());
+        parallelFor(base.threads, degrees.size(), [&](std::uint64_t i) {
+            SystemConfig cfg = base;
+            cfg.nextLine.degree = degrees[i];
+            TraceEngine engine(
+                cfg, prog, executorConfigFor(w),
+                std::make_unique<NextLinePrefetcher>(cfg.nextLine));
+            rs[i] = engine.run(budget.warmup, budget.measure);
+        });
+        ResultValue t = makeTable(
+            "Next-line degree",
+            {"degree", "miss_ratio", "useful_per_fill"});
+        ResultValue &rows = *t.find("rows");
+        for (std::size_t i = 0; i < degrees.size(); ++i) {
+            const double acc = rs[i].prefetchFills == 0
+                ? 0.0
+                : static_cast<double>(rs[i].usefulPrefetches) /
+                  static_cast<double>(rs[i].prefetchFills);
+            ResultValue row = ResultValue::array();
+            row.push(degrees[i]);
+            row.push(rs[i].missRatio());
+            row.push(acc);
+            rows.push(std::move(row));
+        }
+        tables.push(std::move(t));
+    }
+
+    ResultValue body = ResultValue::object();
+    body.set("tables", std::move(tables));
+    body.set("workloads",
+             ResultValue::array().push(workloadKey(w)));
+    return body;
+}
+
+ExperimentBudget
+engineBudget()
+{
+    ExperimentBudget b;
+    b.warmup = 1'500'000;
+    b.measure = 6'000'000;
+    return b;
+}
+
+} // namespace
+
+const std::vector<ExperimentSpec> &
+experimentRegistry()
+{
+    static const std::vector<ExperimentSpec> registry = [] {
+        std::vector<ExperimentSpec> specs;
+        const std::vector<ServerWorkload> all = allServerWorkloads();
+
+        specs.push_back({
+            "table1",
+            "System and application parameters (Table I) plus the "
+            "Section 5.4 predictor storage model",
+            "",
+            all, engineBudget(), runTable1});
+        specs.push_back({
+            "fig2-streams",
+            "Correctly predicted correct-path L1-I misses at the four "
+            "stream observation points (Figure 2)",
+            "paper shape: Miss < Access < Retire < RetireSep; "
+            "RetireSep near-perfect",
+            all, engineBudget(), runFig2Body});
+        specs.push_back({
+            "fig3-regions",
+            "Spatial region density and discontinuous access groups "
+            "(Figure 3)",
+            "paper shape: >50% of regions access more than one block; "
+            "about a fifth observe discontinuous accesses",
+            all, engineBudget(), runFig3Body});
+        specs.back().usesConfig = false;
+        specs.push_back({
+            "fig7-jumpdist",
+            "Coverage-weighted jump distance in history (Figure 7)",
+            "paper shape: medium-aged and old streams contribute as "
+            "many correct predictions as recent streams",
+            all, engineBudget(), runFig7Body});
+        specs.back().usesConfig = false;
+        specs.push_back({
+            "fig8-offsets",
+            "References by block offset from the trigger access "
+            "(Figure 8 left)",
+            "paper shape: +1/+2 dominate; frequency decays with "
+            "distance; backward accesses occur with significant "
+            "frequency",
+            all, engineBudget(), runFig8LeftBody});
+        specs.back().usesConfig = false;
+        specs.push_back({
+            "fig8-regionsize",
+            "PIF coverage per trap level vs spatial region size "
+            "(Figure 8 right)",
+            "paper shape: TL0 grows slightly with region size; TL1 "
+            "improves significantly",
+            all, engineBudget(), runFig8RightBody});
+        specs.push_back({
+            "fig9-streamlen",
+            "Correct predictions by temporal stream length "
+            "(Figure 9 left)",
+            "paper shape: medium and long streams contribute more "
+            "correct predictions than short streams",
+            all, engineBudget(), runFig9LeftBody});
+        specs.back().usesConfig = false;
+        specs.push_back({
+            "fig9-history",
+            "PIF predictor coverage vs history buffer capacity "
+            "(Figure 9 right)",
+            "paper shape: coverage rises monotonically with storage; "
+            "little justification beyond 32K regions",
+            all, engineBudget(), runFig9RightBody});
+        specs.push_back({
+            "fig10-coverage",
+            "L1-I miss coverage of Next-Line, TIFS and PIF without "
+            "storage limitations (Figure 10 left)",
+            "paper shape: PIF nearly perfect across all workloads; "
+            "TIFS 65-90%; next-line below TIFS",
+            all, engineBudget(), runFig10CoverageBody});
+        specs.push_back({
+            "fig10-speedup",
+            "UIPC speedup over the no-prefetch baseline "
+            "(Figure 10 right)",
+            "paper shape: Next-Line < TIFS < PIF ~= Perfect "
+            "(paper: PIF +27% avg, perfect +29%)",
+            all, engineBudget(), runFig10SpeedupBody});
+        specs.push_back({
+            "ablation",
+            "Design-space ablations: temporal compactor depth, SAB "
+            "grid, trap separation, shared storage, next-line degree",
+            "",
+            {ServerWorkload::OltpDb2}, engineBudget(),
+            runAblationBody});
+        return specs;
+    }();
+    return registry;
+}
+
+const ExperimentSpec *
+findExperiment(const std::string &name)
+{
+    for (const ExperimentSpec &spec : experimentRegistry()) {
+        if (spec.name == name)
+            return &spec;
+    }
+    return nullptr;
+}
+
+ResultValue
+configToResult(const SystemConfig &cfg)
+{
+    ResultValue pif = ResultValue::object();
+    pif.set("blocksBefore", cfg.pif.blocksBefore);
+    pif.set("blocksAfter", cfg.pif.blocksAfter);
+    pif.set("temporalEntries", cfg.pif.temporalEntries);
+    pif.set("historyRegions", cfg.pif.historyRegions);
+    pif.set("indexEntries", cfg.pif.indexEntries);
+    pif.set("numSabs", cfg.pif.numSabs);
+    pif.set("sabWindowRegions", cfg.pif.sabWindowRegions);
+    pif.set("separateTrapLevels", cfg.pif.separateTrapLevels);
+
+    ResultValue out = ResultValue::object();
+    out.set("seed", cfg.seed);
+    out.set("numCores", cfg.numCores);
+    out.set("l1iBytes", cfg.l1i.sizeBytes);
+    out.set("l1iAssoc", cfg.l1i.assoc);
+    out.set("pif", std::move(pif));
+    out.set("tifsHistoryEntries", cfg.tifs.historyEntries);
+    out.set("nextLineDegree", cfg.nextLine.degree);
+    out.set("memLatency", cfg.memory.memLatency);
+    return out;
+}
+
+ResultValue
+runExperiment(const ExperimentSpec &spec, const RunOptions &opts)
+{
+    const ExperimentBudget budget = budgetOf(spec, opts);
+    ResultValue body = spec.run(spec, opts);
+
+    ResultValue meta = ResultValue::object();
+    // Analysis-only runners never read the system config and make a
+    // single pass of `measure` instructions; omitting seed/config/
+    // warmup keeps the provenance honest (they had no effect).
+    if (spec.usesConfig) {
+        meta.set("seed", opts.cfg.seed);
+        meta.set("warmup", budget.warmup);
+    }
+    meta.set("measure", budget.measure);
+    meta.set("threads", resolveThreads(opts.cfg.threads));
+    meta.set("git", gitDescribe());
+    // A body may narrow the selection (the ablation runs only its
+    // first workload); trust its report over the requested list.
+    if (ResultValue *used = body.find("workloads")) {
+        meta.set("workloads", std::move(*used));
+    } else {
+        ResultValue workloads = ResultValue::array();
+        for (ServerWorkload w : workloadsOf(spec, opts))
+            workloads.push(workloadKey(w));
+        meta.set("workloads", std::move(workloads));
+    }
+    if (spec.usesConfig)
+        meta.set("config", configToResult(opts.cfg));
+
+    ResultValue doc = ResultValue::object();
+    doc.set("experiment", spec.name);
+    doc.set("description", spec.description);
+    doc.set("meta", std::move(meta));
+    if (ResultValue *tables = body.find("tables"))
+        doc.set("tables", std::move(*tables));
+    ResultValue notes = ResultValue::array();
+    if (const ResultValue *body_notes = body.find("notes")) {
+        for (std::size_t i = 0; i < body_notes->size(); ++i)
+            notes.push(body_notes->at(i));
+    }
+    if (!spec.paperShape.empty())
+        notes.push(spec.paperShape);
+    doc.set("notes", std::move(notes));
+    return doc;
+}
+
+// --------------------------------------------------- config overrides
+
+bool
+parseU64Value(const std::string &s, std::uint64_t &out)
+{
+    // strtoull silently wraps negatives to huge values; reject them.
+    if (s.empty() || s.find('-') != std::string::npos)
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+    if (errno != 0 || !end || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+namespace {
+
+bool
+parseBool(const std::string &s, bool &out)
+{
+    if (s == "1" || s == "true" || s == "on") {
+        out = true;
+        return true;
+    }
+    if (s == "0" || s == "false" || s == "off") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (!end || *end != '\0')
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+bool
+applyConfigOverride(SystemConfig &cfg, const std::string &key,
+                    const std::string &value)
+{
+    std::uint64_t u = 0;
+    bool b = false;
+    double d = 0.0;
+
+    const auto setU = [&](auto &field) {
+        if (!parseU64Value(value, u))
+            return false;
+        field = static_cast<std::decay_t<decltype(field)>>(u);
+        return true;
+    };
+
+    if (key == "seed") return setU(cfg.seed);
+    if (key == "threads") return setU(cfg.threads);
+    if (key == "numCores") return setU(cfg.numCores);
+    if (key == "l1i.sizeBytes") return setU(cfg.l1i.sizeBytes);
+    if (key == "l1i.assoc") return setU(cfg.l1i.assoc);
+    if (key == "l1i.mshrs") return setU(cfg.l1i.mshrs);
+    if (key == "memory.memLatency") return setU(cfg.memory.memLatency);
+    if (key == "memory.l2HitLatency")
+        return setU(cfg.memory.l2HitLatency);
+    if (key == "core.robEntries") return setU(cfg.core.robEntries);
+    if (key == "core.dispatchWidth")
+        return setU(cfg.core.dispatchWidth);
+    if (key == "core.retireWidth") return setU(cfg.core.retireWidth);
+    if (key == "pif.blocksBefore") return setU(cfg.pif.blocksBefore);
+    if (key == "pif.blocksAfter") return setU(cfg.pif.blocksAfter);
+    if (key == "pif.temporalEntries")
+        return setU(cfg.pif.temporalEntries);
+    if (key == "pif.historyRegions")
+        return setU(cfg.pif.historyRegions);
+    if (key == "pif.indexEntries") return setU(cfg.pif.indexEntries);
+    if (key == "pif.numSabs") return setU(cfg.pif.numSabs);
+    if (key == "pif.sabWindowRegions")
+        return setU(cfg.pif.sabWindowRegions);
+    if (key == "pif.separateTrapLevels") {
+        if (!parseBool(value, b))
+            return false;
+        cfg.pif.separateTrapLevels = b;
+        return true;
+    }
+    if (key == "tifs.historyEntries")
+        return setU(cfg.tifs.historyEntries);
+    if (key == "tifs.sabWindowBlocks")
+        return setU(cfg.tifs.sabWindowBlocks);
+    if (key == "nextLine.degree") return setU(cfg.nextLine.degree);
+    if (key == "trap.perInstrProbability") {
+        if (!parseDouble(value, d))
+            return false;
+        cfg.trap.perInstrProbability = d;
+        return true;
+    }
+    if (key == "trap.handlerCount") return setU(cfg.trap.handlerCount);
+    return false;
+}
+
+const std::vector<std::string> &
+configOverrideKeys()
+{
+    static const std::vector<std::string> keys = {
+        "seed", "threads", "numCores",
+        "l1i.sizeBytes", "l1i.assoc", "l1i.mshrs",
+        "memory.memLatency", "memory.l2HitLatency",
+        "core.robEntries", "core.dispatchWidth", "core.retireWidth",
+        "pif.blocksBefore", "pif.blocksAfter", "pif.temporalEntries",
+        "pif.historyRegions", "pif.indexEntries", "pif.numSabs",
+        "pif.sabWindowRegions", "pif.separateTrapLevels",
+        "tifs.historyEntries", "tifs.sabWindowBlocks",
+        "nextLine.degree",
+        "trap.perInstrProbability", "trap.handlerCount",
+    };
+    return keys;
+}
+
+std::string
+gitDescribe()
+{
+#ifdef PIFETCH_GIT_DESCRIBE
+    return PIFETCH_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+// ----------------------------------------------------------- goldens
+
+const std::vector<GoldenEntry> &
+goldenSuite()
+{
+    static const std::vector<GoldenEntry> suite = [] {
+        ExperimentBudget small;
+        small.warmup = 120'000;
+        small.measure = 260'000;
+
+        std::vector<GoldenEntry> entries;
+        {
+            GoldenEntry e;
+            e.experiment = "fig2-streams";
+            e.options.workloads = {ServerWorkload::OltpDb2,
+                                   ServerWorkload::WebApache};
+            e.options.budget = small;
+            entries.push_back(std::move(e));
+        }
+        {
+            GoldenEntry e;
+            e.experiment = "fig9-history";
+            e.options.workloads = {ServerWorkload::OltpDb2};
+            e.options.budget = small;
+            entries.push_back(std::move(e));
+        }
+        {
+            GoldenEntry e;
+            e.experiment = "fig10-coverage";
+            e.options.workloads = {ServerWorkload::OltpDb2,
+                                   ServerWorkload::WebApache};
+            e.options.budget = small;
+            entries.push_back(std::move(e));
+        }
+        {
+            GoldenEntry e;
+            e.experiment = "fig10-speedup";
+            e.options.workloads = {ServerWorkload::OltpDb2};
+            e.options.budget = small;
+            entries.push_back(std::move(e));
+        }
+        return entries;
+    }();
+    return suite;
+}
+
+std::string
+goldenJson(const GoldenEntry &entry, unsigned threads)
+{
+    const ExperimentSpec *spec = findExperiment(entry.experiment);
+    if (!spec)
+        panic("golden entry references unknown experiment");
+
+    RunOptions opts = entry.options;
+    opts.cfg.threads = threads;
+    const ExperimentBudget budget = opts.budget ? *opts.budget
+                                                : spec->defaultBudget;
+    ResultValue body = spec->run(*spec, opts);
+
+    // Pinned metadata only: nothing that varies with checkout, host
+    // or PIFETCH_THREADS may reach the fixture bytes.
+    ResultValue meta = ResultValue::object();
+    meta.set("mode", "golden");
+    meta.set("seed", opts.cfg.seed);
+    meta.set("warmup", budget.warmup);
+    meta.set("measure", budget.measure);
+    ResultValue workloads = ResultValue::array();
+    for (ServerWorkload w : opts.workloads)
+        workloads.push(workloadKey(w));
+    meta.set("workloads", std::move(workloads));
+
+    ResultValue doc = ResultValue::object();
+    doc.set("experiment", spec->name);
+    doc.set("meta", std::move(meta));
+    if (ResultValue *tables = body.find("tables"))
+        doc.set("tables", std::move(*tables));
+    return toJson(doc, 2) + "\n";
+}
+
+} // namespace pifetch

@@ -5,6 +5,9 @@
 
 #include "trace/server_suite.hh"
 
+#include <algorithm>
+#include <cctype>
+
 #include "common/types.hh"
 
 namespace pifetch {
@@ -46,6 +49,38 @@ workloadGroup(ServerWorkload w)
       case ServerWorkload::WebZeus:    return "Web";
     }
     panic("unknown workload");
+}
+
+std::string
+workloadKey(ServerWorkload w)
+{
+    switch (w) {
+      case ServerWorkload::OltpDb2:    return "db2";
+      case ServerWorkload::OltpOracle: return "oracle";
+      case ServerWorkload::DssQry2:    return "qry2";
+      case ServerWorkload::DssQry17:   return "qry17";
+      case ServerWorkload::WebApache:  return "apache";
+      case ServerWorkload::WebZeus:    return "zeus";
+    }
+    panic("unknown workload");
+}
+
+std::optional<ServerWorkload>
+workloadFromName(const std::string &s)
+{
+    std::string key = s;
+    std::transform(key.begin(), key.end(), key.begin(),
+                   [](unsigned char c) {
+                       return static_cast<char>(std::tolower(c));
+                   });
+    for (ServerWorkload w : allServerWorkloads()) {
+        if (key == workloadKey(w))
+            return w;
+    }
+    if (key.size() == 1 && key[0] >= '0' && key[0] <= '5')
+        return allServerWorkloads()[static_cast<std::size_t>(
+            key[0] - '0')];
+    return std::nullopt;
 }
 
 WorkloadParams

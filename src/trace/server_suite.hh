@@ -18,6 +18,7 @@
 #ifndef PIFETCH_TRACE_SERVER_SUITE_HH
 #define PIFETCH_TRACE_SERVER_SUITE_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,16 @@ std::string workloadName(ServerWorkload w);
 
 /** Workload class ("OLTP", "DSS", "Web"). */
 std::string workloadGroup(ServerWorkload w);
+
+/**
+ * Parse a workload from a CLI token: a short key ("db2", "oracle",
+ * "qry2", "qry17", "apache", "zeus", case-insensitive) or an index
+ * "0".."5" in presentation order. Returns nullopt on anything else.
+ */
+std::optional<ServerWorkload> workloadFromName(const std::string &s);
+
+/** The short key workloadFromName accepts ("db2", "qry2", ...). */
+std::string workloadKey(ServerWorkload w);
 
 /**
  * Generator parameters for a workload.

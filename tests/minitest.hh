@@ -84,6 +84,8 @@ struct Runtime {
     std::string filter = "*";
     bool listOnly = false;
     int failuresInCurrentTest = 0;
+    /** Active SCOPED_TRACE messages, innermost last. */
+    std::vector<std::string> traceStack;
 
     static Runtime &
     get()
@@ -117,6 +119,9 @@ class AssertHelper
         const std::string text = msg.str();
         if (!text.empty())
             std::fprintf(stderr, "%s\n", text.c_str());
+        for (auto it = Runtime::get().traceStack.rbegin();
+             it != Runtime::get().traceStack.rend(); ++it)
+            std::fprintf(stderr, "Trace: %s\n", it->c_str());
         ++Runtime::get().failuresInCurrentTest;
     }
 
@@ -647,6 +652,36 @@ InitGoogleTest()
 } // namespace testing
 
 // -------------------------------------------------------------- the macros
+
+namespace testing {
+namespace internal {
+
+/** RAII frame backing SCOPED_TRACE (stack dumped on each failure). */
+class ScopedTraceFrame
+{
+  public:
+    template <typename T>
+    ScopedTraceFrame(const char *file, int line, const T &message)
+    {
+        std::ostringstream oss;
+        oss << file << ':' << line << ": " << message;
+        Runtime::get().traceStack.push_back(oss.str());
+    }
+
+    ~ScopedTraceFrame() { Runtime::get().traceStack.pop_back(); }
+
+    ScopedTraceFrame(const ScopedTraceFrame &) = delete;
+    ScopedTraceFrame &operator=(const ScopedTraceFrame &) = delete;
+};
+
+} // namespace internal
+} // namespace testing
+
+#define MINITEST_TRACE_CAT2_(a, b) a##b
+#define MINITEST_TRACE_CAT_(a, b) MINITEST_TRACE_CAT2_(a, b)
+#define SCOPED_TRACE(message)                                                 \
+    ::testing::internal::ScopedTraceFrame MINITEST_TRACE_CAT_(                \
+        minitest_scoped_trace_, __LINE__)(__FILE__, __LINE__, (message))
 
 #define MINITEST_CLASS_NAME_(suite, name) suite##_##name##_MiniTest
 

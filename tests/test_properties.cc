@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <unordered_set>
 
+#include "common/results.hh"
 #include "pif/pif_prefetcher.hh"
 #include "sim/trace_engine.hh"
 #include "sim/workloads.hh"
@@ -135,6 +137,156 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1u, 42u, 1337u),
                        ::testing::Values(4u, 8u, 12u),
                        ::testing::Values(1.5, 2.0)));
+
+// ---------------------------------------------------------------------
+// Histogram boundary properties: zero, bucket-edge and overflow
+// samples must land in well-defined buckets for any geometry, and the
+// serialized form (common/results.hh) must agree with the accessors.
+
+/** Bucket-count grid for the log2 histogram. */
+class Log2Boundary : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(Log2Boundary, ZeroEdgeAndOverflowBucketing)
+{
+    const unsigned max_log2 = GetParam();
+    Log2Histogram h(max_log2);
+    ASSERT_EQ(h.buckets(), max_log2 + 1);
+
+    // Zero and one both land in bucket 0.
+    h.add(0);
+    h.add(1);
+    EXPECT_DOUBLE_EQ(h.weightAt(0), 2.0);
+
+    // Exact powers of two land in their own bucket; one below lands
+    // one bucket lower (except 2^1 - 1 == 1, which is bucket 0).
+    for (unsigned k = 1; k <= max_log2; ++k) {
+        Log2Histogram p(max_log2);
+        p.add(std::uint64_t{1} << k);
+        EXPECT_DOUBLE_EQ(p.weightAt(k), 1.0) << "2^" << k;
+        p.add((std::uint64_t{1} << k) - 1);
+        EXPECT_DOUBLE_EQ(p.weightAt(k == 1 ? 0 : k - 1), 1.0)
+            << "2^" << k << " - 1";
+        EXPECT_EQ(p.highestBucket(), k);
+    }
+
+    // Values past the top bucket clamp into it instead of dropping.
+    Log2Histogram o(max_log2);
+    o.add(std::uint64_t{1} << 63);
+    o.add(~std::uint64_t{0});
+    EXPECT_DOUBLE_EQ(o.weightAt(max_log2), 2.0);
+    EXPECT_DOUBLE_EQ(o.totalWeight(), 2.0);
+    EXPECT_DOUBLE_EQ(o.cumulativeAt(max_log2), 1.0);
+
+    // The serializer reports exactly the clamped shape.
+    const ResultValue v = toResult(o);
+    ASSERT_EQ(v.find("buckets")->size(), max_log2 + 1u);
+    const ResultValue &top = v.find("buckets")->at(max_log2);
+    EXPECT_DOUBLE_EQ(top.find("weight")->number(), 2.0);
+    EXPECT_DOUBLE_EQ(top.find("cumulative")->number(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, Log2Boundary,
+                         ::testing::Values(1u, 4u, 10u, 40u));
+
+/** Upper-bound grids for the range histogram. */
+class RangeBoundary
+    : public ::testing::TestWithParam<std::vector<std::uint64_t>>
+{
+};
+
+TEST_P(RangeBoundary, EdgesClampAndLabelsMatch)
+{
+    const std::vector<std::uint64_t> bounds = GetParam();
+    RangeHistogram h(bounds);
+    ASSERT_EQ(h.ranges(), bounds.size());
+
+    // Zero (below every range) lands in the first range.
+    h.add(0);
+    EXPECT_DOUBLE_EQ(h.weightAt(0), 1.0);
+
+    // Each inclusive upper bound lands in its own range; one above
+    // moves to the next (or clamps at the top).
+    for (unsigned r = 0; r < bounds.size(); ++r) {
+        RangeHistogram p(bounds);
+        p.add(bounds[r]);
+        EXPECT_DOUBLE_EQ(p.weightAt(r), 1.0) << "bound " << bounds[r];
+        p.add(bounds[r] + 1);
+        const unsigned expect =
+            r + 1 < bounds.size() ? r + 1 : r;
+        EXPECT_DOUBLE_EQ(p.weightAt(expect) +
+                             (expect == r ? -1.0 : 0.0),
+                         1.0)
+            << "bound+1 " << bounds[r] + 1;
+    }
+
+    // Far overflow clamps into the last range, keeping the total.
+    RangeHistogram o(bounds);
+    o.add(~std::uint64_t{0});
+    EXPECT_DOUBLE_EQ(o.weightAt(o.ranges() - 1), 1.0);
+    EXPECT_DOUBLE_EQ(o.totalWeight(), 1.0);
+
+    // Serialized labels line up with labelAt and fractions sum to 1.
+    const ResultValue v = toResult(o);
+    ASSERT_EQ(v.find("buckets")->size(), bounds.size());
+    double sum = 0.0;
+    for (unsigned r = 0; r < o.ranges(); ++r) {
+        const ResultValue &b = v.find("buckets")->at(r);
+        EXPECT_EQ(b.find("label")->str(), o.labelAt(r));
+        sum += b.find("fraction")->number();
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RangeBoundary,
+    ::testing::Values(std::vector<std::uint64_t>{1},
+                      std::vector<std::uint64_t>{1, 2, 4, 8, 16, 32},
+                      std::vector<std::uint64_t>{5, 100, 1000}));
+
+/** (lo, hi) grid for the linear histogram. */
+class LinearBoundary
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(LinearBoundary, EndpointsCountAndOutOfRangeDrops)
+{
+    const auto [lo, hi] = GetParam();
+    LinearHistogram h(lo, hi);
+
+    // Both inclusive endpoints are in range...
+    h.add(lo);
+    h.add(hi);
+    EXPECT_DOUBLE_EQ(h.weightAt(lo), lo == hi ? 2.0 : 1.0);
+    EXPECT_DOUBLE_EQ(h.weightAt(hi), lo == hi ? 2.0 : 1.0);
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 2.0);
+    EXPECT_DOUBLE_EQ(h.dropped(), 0.0);
+
+    // ...and one past either endpoint is dropped but accounted.
+    h.add(lo - 1, 0.5);
+    h.add(hi + 1, 0.25);
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 2.0);
+    EXPECT_DOUBLE_EQ(h.dropped(), 0.75);
+
+    // The serializer exposes the dropped weight and every domain
+    // value, so downstream tooling can report truncation.
+    const ResultValue v = toResult(h);
+    EXPECT_EQ(v.find("lo")->intValue(), lo);
+    EXPECT_EQ(v.find("hi")->intValue(), hi);
+    EXPECT_DOUBLE_EQ(v.find("dropped_weight")->number(), 0.75);
+    ASSERT_EQ(v.find("buckets")->size(),
+              static_cast<std::size_t>(hi - lo + 1));
+    EXPECT_EQ(v.find("buckets")->at(0).find("value")->intValue(), lo);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, LinearBoundary,
+    ::testing::Values(std::pair<int, int>{-4, 12},
+                      std::pair<int, int>{0, 0},
+                      std::pair<int, int>{-8, -2},
+                      std::pair<int, int>{3, 7}));
 
 } // namespace
 } // namespace pifetch

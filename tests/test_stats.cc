@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "common/stats.hh"
 
@@ -51,6 +54,107 @@ TEST(StatGroup, ResetAllClearsEveryCounter)
     g.resetAll();
     EXPECT_EQ(a.value(), 0u);
     EXPECT_EQ(b.value(), 0u);
+}
+
+// Regression tests for the dangling-enrollment hazard: a registered
+// Counter that was copied or moved used to leave a stale pointer in
+// its StatGroup (e.g. after a std::vector reallocation), so dump()
+// read freed memory. Counters are now move-only and keep their
+// enrollment consistent.
+
+TEST(CounterLifetime, CopyingIsDisabled)
+{
+    static_assert(!std::is_copy_constructible<Counter>::value,
+                  "a copied registered counter would dangle or "
+                  "double-report");
+    static_assert(!std::is_copy_assignable<Counter>::value, "");
+    static_assert(std::is_nothrow_move_constructible<Counter>::value,
+                  "vectors of counters must move on reallocation");
+    static_assert(!std::is_copy_constructible<StatGroup>::value,
+                  "counters hold back-pointers to their group");
+}
+
+TEST(CounterLifetime, MoveTransfersEnrollment)
+{
+    StatGroup g("grp");
+    Counter a(g, "a", "moved-from");
+    a += 7;
+
+    Counter b(std::move(a));
+    EXPECT_EQ(b.value(), 7u);
+    EXPECT_EQ(b.group(), &g);
+    EXPECT_EQ(a.group(), nullptr);  // NOLINT: inspecting moved-from
+
+    ASSERT_EQ(g.counters().size(), 1u);
+    EXPECT_EQ(g.counters()[0], &b);
+
+    ++b;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("grp.a 8"), std::string::npos);
+}
+
+TEST(CounterLifetime, MoveAssignUnenrollsTheOverwrittenCounter)
+{
+    StatGroup g("grp");
+    Counter a(g, "a", "");
+    Counter b(g, "b", "");
+    a += 1;
+    b += 2;
+    ASSERT_EQ(g.counters().size(), 2u);
+
+    a = std::move(b);  // "a" the enrollment dies; "b" follows the move
+    ASSERT_EQ(g.counters().size(), 1u);
+    EXPECT_EQ(g.counters()[0], &a);
+    EXPECT_EQ(a.name(), "b");
+    EXPECT_EQ(a.value(), 2u);
+
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "grp.b 2  # \n");
+}
+
+TEST(CounterLifetime, DestructionUnenrolls)
+{
+    StatGroup g("grp");
+    Counter keep(g, "keep", "");
+    {
+        Counter temp(g, "temp", "");
+        temp += 5;
+        ASSERT_EQ(g.counters().size(), 2u);
+    }
+    ASSERT_EQ(g.counters().size(), 1u);
+    std::ostringstream os;
+    g.dump(os);  // would read freed memory before the fix (ASan)
+    EXPECT_EQ(os.str().find("temp"), std::string::npos);
+}
+
+TEST(CounterLifetime, VectorReallocationKeepsEnrollmentsValid)
+{
+    StatGroup g("vec");
+    std::vector<Counter> counters;
+    for (int i = 0; i < 64; ++i) {
+        // Growth forces reallocations; every move must re-enroll.
+        counters.emplace_back(g, "c" + std::to_string(i), "");
+        counters.back() += static_cast<std::uint64_t>(i);
+    }
+    ASSERT_EQ(g.counters().size(), counters.size());
+    for (std::size_t i = 0; i < counters.size(); ++i)
+        EXPECT_EQ(g.counters()[i], &counters[i]) << i;
+
+    g.resetAll();  // touches every pointer; dies on any stale one
+    for (const Counter &c : counters)
+        EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterLifetime, UnregisteredCountersStayGroupless)
+{
+    Counter free_counter;
+    ++free_counter;
+    EXPECT_EQ(free_counter.group(), nullptr);
+    Counter moved(std::move(free_counter));
+    EXPECT_EQ(moved.group(), nullptr);
+    EXPECT_EQ(moved.value(), 1u);
 }
 
 TEST(Ratio, HandlesZeroDenominator)
