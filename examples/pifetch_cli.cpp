@@ -13,6 +13,9 @@
  *       pool; one experiment run per grid point.
  *   pifetch golden [--list | <experiment>]
  *       Canonical golden-fixture JSON (see scripts/regold.sh).
+ *   pifetch perf [--list | options]
+ *       Time the simulator's hot kernels (docs/performance.md) and
+ *       emit a BENCH_*.json document for scripts/perf_compare.py.
  *
  * Options (run and sweep):
  *   --workload W       restrict to workload W (repeatable);
@@ -44,6 +47,7 @@
 #include <vector>
 
 #include "common/parallel.hh"
+#include "perf/kernels.hh"
 #include "sim/registry.hh"
 
 using namespace pifetch;
@@ -62,6 +66,7 @@ usage(std::FILE *out)
         "  sweep <experiment> --param key=v1,v2,...\n"
         "                            run a parameter grid\n"
         "  golden [--list|<exp>]     emit canonical golden JSON\n"
+        "  perf [--list|options]     time the hot kernels\n"
         "  help                      this message\n"
         "\n"
         "run/sweep options:\n"
@@ -75,7 +80,17 @@ usage(std::FILE *out)
         "  --measure N    measured instructions\n"
         "  --seed N       master seed\n"
         "  --set k=v      config override (repeatable)\n"
-        "  --quiet        no human-readable report\n",
+        "  --quiet        no human-readable report\n"
+        "\n"
+        "perf options:\n"
+        "  --list         enumerate the kernels and exit\n"
+        "  --kernel K     run only kernel K (repeatable)\n"
+        "  --reps N       timed repetitions per kernel (default 5)\n"
+        "  --warmup-reps N untimed repetitions first (default 1)\n"
+        "  --scale X      op-count multiplier, X > 0 (default 1.0)\n"
+        "  --workload W   driving workload (default db2)\n"
+        "  --seed N       stream-generation seed\n"
+        "  --json/--csv/--quiet as above\n",
         out);
     return out == stderr ? 2 : 0;
 }
@@ -479,6 +494,121 @@ cmdGolden(int argc, char **argv)
     return 2;
 }
 
+int
+cmdPerf(int argc, char **argv)
+{
+    if (argc >= 3 && std::strcmp(argv[2], "--list") == 0) {
+        std::printf("%-20s %s\n", "kernel", "description");
+        for (const PerfKernelSpec &k : perfKernels())
+            std::printf("%-20s %s\n", k.name.c_str(),
+                        k.description.c_str());
+        return 0;
+    }
+
+    PerfOptions opts;
+    CliOptions out;  // only jsonPath/csvPath/quiet are used
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "pifetch perf: %s needs a value\n",
+                             arg.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        const auto badValue = [&](const char *v) {
+            std::fprintf(stderr, "pifetch perf: bad value '%s' for %s\n",
+                         v ? v : "<missing>", arg.c_str());
+            return 2;
+        };
+
+        if (arg == "--kernel") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            if (!findPerfKernel(v)) {
+                std::fprintf(stderr,
+                             "pifetch perf: unknown kernel '%s' "
+                             "(try `pifetch perf --list`)\n", v);
+                return 2;
+            }
+            opts.kernels.push_back(v);
+        } else if (arg == "--reps" || arg == "--warmup-reps" ||
+                   arg == "--seed") {
+            const char *v = next();
+            std::uint64_t n = 0;
+            if (!v || !parseU64Arg(v, n))
+                return badValue(v);
+            if (arg == "--reps") {
+                if (n == 0 || n > 1000) {
+                    std::fprintf(stderr,
+                                 "pifetch perf: --reps must be in "
+                                 "1..1000\n");
+                    return 2;
+                }
+                opts.protocol.reps = static_cast<unsigned>(n);
+            } else if (arg == "--warmup-reps") {
+                if (n > 1000) {
+                    std::fprintf(stderr,
+                                 "pifetch perf: --warmup-reps must "
+                                 "be <= 1000\n");
+                    return 2;
+                }
+                opts.protocol.warmupReps = static_cast<unsigned>(n);
+            } else {
+                opts.seed = n;
+            }
+        } else if (arg == "--scale") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            char *end = nullptr;
+            const double s = std::strtod(v, &end);
+            // Finite and bounded: "inf"/1e300 would overflow the op
+            // counts (UB on the uint64 cast downstream).
+            if (!end || *end != '\0' || !(s > 0.0) || !(s <= 1e6))
+                return badValue(v);
+            opts.scale = s;
+        } else if (arg == "--workload") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            const std::optional<ServerWorkload> w = workloadFromName(v);
+            if (!w) {
+                std::fprintf(stderr,
+                             "pifetch perf: unknown workload '%s'\n", v);
+                return 2;
+            }
+            opts.workload = *w;
+        } else if (arg == "--json") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            out.jsonPath = v;
+        } else if (arg == "--csv") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            out.csvPath = v;
+        } else if (arg == "--quiet") {
+            out.quiet = true;
+        } else {
+            std::fprintf(stderr, "pifetch perf: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    if (out.jsonPath == "-" && out.csvPath == "-") {
+        std::fprintf(stderr,
+                     "pifetch: --json - and --csv - would interleave "
+                     "on stdout; write at least one to a file\n");
+        return 2;
+    }
+
+    return emitOutputs(out, runPerfSuite(opts)) ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -495,6 +625,8 @@ main(int argc, char **argv)
         return cmdSweep(argc, argv);
     if (cmd == "golden")
         return cmdGolden(argc, argv);
+    if (cmd == "perf")
+        return cmdPerf(argc, argv);
     if (cmd == "help" || cmd == "--help" || cmd == "-h")
         return usage(stdout);
     std::fprintf(stderr, "pifetch: unknown command '%s'\n",

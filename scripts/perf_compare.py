@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Compare two pifetch BENCH_*.json documents and gate on regressions.
+
+Usage:
+    perf_compare.py BASELINE.json CURRENT.json [--tolerance 0.25]
+
+Both files are `pifetch perf --json` output. Kernels are matched by
+name and compared on ops_per_sec (median-of-N throughput). The gate
+fails (exit 1) only when a kernel's throughput drops by more than
+--tolerance relative to the baseline — 25% by default, loose enough
+to tolerate shared-runner noise while catching real hot-path
+regressions — or when a baseline kernel is missing from the current
+run (a silently dropped kernel must not read as a pass). Kernels new
+in the current run are reported but never gate.
+
+Exit codes: 0 ok, 1 regression/missing kernel, 2 usage or bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def die(message):
+    """Bad input / usage: exit 2, distinct from a regression's 1."""
+    print(f"perf_compare: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_doc(path):
+    """(kernel name -> ops_per_sec, meta) from a BENCH_*.json file."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        die(f"cannot read {path}: {e}")
+    kernels = doc.get("kernels")
+    if not isinstance(kernels, list) or not kernels:
+        die(f"{path} has no 'kernels' array")
+    out = {}
+    for k in kernels:
+        name = k.get("name")
+        ops_per_sec = k.get("ops_per_sec")
+        if not isinstance(name, str) or \
+                not isinstance(ops_per_sec, (int, float)):
+            die(f"{path}: malformed kernel entry {k!r}")
+        out[name] = float(ops_per_sec)
+    meta = doc.get("meta")
+    return out, meta if isinstance(meta, dict) else {}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate pifetch perf results against a baseline.")
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="current BENCH_*.json")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional throughput drop (default 0.25)")
+    args = parser.parse_args()
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error("--tolerance must be in [0, 1)")
+
+    base, base_meta = load_doc(args.baseline)
+    cur, cur_meta = load_doc(args.current)
+
+    # A run at a different scale or workload measures different work
+    # per repetition (setup amortizes differently), so its ops/sec is
+    # not comparable to the baseline — refuse rather than report a
+    # regression that is really a protocol mismatch.
+    for key in ("scale", "workload"):
+        b, c = base_meta.get(key), cur_meta.get(key)
+        if b is not None and c is not None and b != c:
+            die(f"{key} mismatch (baseline {b!r}, current {c!r}); "
+                f"rerun `pifetch perf` with the baseline's {key} "
+                f"to compare")
+
+    failures = []
+    print(f"{'kernel':<22} {'base Mops/s':>12} {'cur Mops/s':>12} "
+          f"{'ratio':>7}  status")
+    for name, base_ops in base.items():
+        if name not in cur:
+            failures.append(f"kernel '{name}' missing from current run")
+            print(f"{name:<22} {base_ops / 1e6:>12.2f} {'-':>12} "
+                  f"{'-':>7}  MISSING")
+            continue
+        cur_ops = cur[name]
+        if base_ops <= 0.0:
+            print(f"{name:<22} {base_ops / 1e6:>12.2f} "
+                  f"{cur_ops / 1e6:>12.2f} {'-':>7}  skipped "
+                  f"(zero baseline)")
+            continue
+        ratio = cur_ops / base_ops
+        regressed = ratio < 1.0 - args.tolerance
+        status = "REGRESSED" if regressed else "ok"
+        print(f"{name:<22} {base_ops / 1e6:>12.2f} "
+              f"{cur_ops / 1e6:>12.2f} {ratio:>6.2f}x  {status}")
+        if regressed:
+            failures.append(
+                f"kernel '{name}' regressed to {ratio:.2f}x of "
+                f"baseline (gate: >= {1.0 - args.tolerance:.2f}x)")
+    for name in cur:
+        if name not in base:
+            print(f"{name:<22} {'-':>12} {cur[name] / 1e6:>12.2f} "
+                  f"{'-':>7}  new (not gated)")
+
+    if failures:
+        print("\nperf_compare: FAIL", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        sys.exit(1)
+    print("\nperf_compare: ok (tolerance "
+          f"{args.tolerance:.0%} drop)")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,13 +15,45 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+BIN=build/pifetch
+
 cmake -B build -S . -DPIFETCH_BUILD_EXAMPLES=ON
 cmake --build build -j --target pifetch_cli
 
+# Never regenerate fixtures from a missing or stale binary: goldens
+# minted by an old build would lock in behavior the current sources
+# do not have, and the mismatch would surface as a confusing CI
+# failure on someone else's machine.
+if [[ ! -x "${BIN}" ]]; then
+    echo "regold: error: ${BIN} is missing after the build." >&2
+    echo "regold: the pifetch_cli target did not produce it; check" >&2
+    echo "regold: the CMake output above (is the build tree" >&2
+    echo "regold: configured with -DPIFETCH_BUILD_EXAMPLES=ON?)." >&2
+    exit 1
+fi
+# Only compile inputs of the binary count: library sources and the
+# CLI translation unit (stray editor files, tests and the other
+# examples do not feed pifetch_cli and must not trip the check; a
+# newer .cc/.hh always triggers a relink, so a fresh successful build
+# always passes). `|| true` guards the SIGPIPE that head can hand the
+# find under pipefail.
+stale=$( { find src examples/pifetch_cli.cpp -type f \
+               \( -name '*.cc' -o -name '*.hh' -o -name '*.cpp' \) \
+               -newer "${BIN}" 2>/dev/null | head -n 3; } || true)
+if [[ -n "${stale}" ]]; then
+    echo "regold: error: ${BIN} is stale — newer sources exist:" >&2
+    while IFS= read -r f; do
+        echo "regold:   ${f}" >&2
+    done <<< "${stale}"
+    echo "regold: rebuild it first:" >&2
+    echo "regold:   cmake --build build -j --target pifetch_cli" >&2
+    exit 1
+fi
+
 mkdir -p tests/golden
-for exp in $(./build/pifetch golden --list); do
+for exp in $("${BIN}" golden --list); do
     echo "regold: ${exp}"
-    ./build/pifetch golden "${exp}" > "tests/golden/${exp}.json"
+    "${BIN}" golden "${exp}" > "tests/golden/${exp}.json"
 done
 
 echo "regenerated $(ls tests/golden/*.json | wc -l) fixtures;" \

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Open-addressing hash containers for address keys.
+ *
+ * The prefetchers' hot loops consult small address sets on every
+ * fetch access (prefetch-queue dedup) and, in the unbounded-storage
+ * studies, a PC -> sequence map on every untagged fetch. The
+ * node-based std::unordered_* containers pay a pointer chase and an
+ * allocation per element on those paths; these flat, linear-probing
+ * tables keep the whole structure in one contiguous allocation.
+ *
+ * Semantics match the std containers for the operations offered
+ * (exact membership, last-write-wins assignment), so swapping them in
+ * cannot move simulation results — the golden suite locks that.
+ * Deletion uses backward-shift (no tombstones), so lookup cost never
+ * degrades with churn; correctness against a std::unordered_set
+ * reference is locked by tests/test_flat_hash.cc.
+ *
+ * Constraint: the key invalidAddr (all ones) is the empty-slot
+ * sentinel and must never be inserted. Every simulated address that
+ * reaches these tables is a block address or PC far below it.
+ */
+
+#ifndef PIFETCH_COMMON_FLAT_HASH_HH
+#define PIFETCH_COMMON_FLAT_HASH_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pifetch {
+
+namespace flat_hash_detail {
+
+/** SplitMix64 finalizer: full-avalanche mixing of an address key. */
+inline std::uint64_t
+mixAddr(Addr k)
+{
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdull;
+    k ^= k >> 33;
+    k *= 0xc4ceb9fe1a85ec53ull;
+    k ^= k >> 33;
+    return k;
+}
+
+} // namespace flat_hash_detail
+
+/**
+ * Flat hash set of addresses (linear probing, power-of-two capacity,
+ * <= 50% load). Grows on demand; clear() keeps the allocation so a
+ * reused set stops allocating in steady state.
+ */
+class AddrSet
+{
+  public:
+    AddrSet() = default;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    bool
+    contains(Addr k) const
+    {
+        if (slots_.empty())
+            return false;
+        std::size_t i = flat_hash_detail::mixAddr(k) & mask_;
+        while (slots_[i] != invalidAddr) {
+            if (slots_[i] == k)
+                return true;
+            i = (i + 1) & mask_;
+        }
+        return false;
+    }
+
+    /** std-container-compatible membership count (0 or 1). */
+    std::size_t count(Addr k) const { return contains(k) ? 1 : 0; }
+
+    /** Insert @p k. @return true if it was not already present. */
+    bool
+    insert(Addr k)
+    {
+        if (k == invalidAddr)
+            panic("AddrSet: the sentinel key cannot be inserted");
+        if ((size_ + 1) * 2 > slots_.size())
+            grow();
+        std::size_t i = flat_hash_detail::mixAddr(k) & mask_;
+        while (slots_[i] != invalidAddr) {
+            if (slots_[i] == k)
+                return false;
+            i = (i + 1) & mask_;
+        }
+        slots_[i] = k;
+        ++size_;
+        return true;
+    }
+
+    /** Remove @p k. @return true if it was present. */
+    bool
+    erase(Addr k)
+    {
+        if (slots_.empty())
+            return false;
+        std::size_t i = flat_hash_detail::mixAddr(k) & mask_;
+        while (true) {
+            if (slots_[i] == invalidAddr)
+                return false;
+            if (slots_[i] == k)
+                break;
+            i = (i + 1) & mask_;
+        }
+        shiftErase(i);
+        --size_;
+        return true;
+    }
+
+    /** Drop every element, keeping the allocation. */
+    void
+    clear()
+    {
+        std::fill(slots_.begin(), slots_.end(), invalidAddr);
+        size_ = 0;
+    }
+
+  private:
+    /**
+     * Close the hole at @p hole by shifting displaced cluster members
+     * back (the tombstone-free linear-probing deletion): walk the
+     * cluster; an element at j may fill the hole iff its ideal slot
+     * does not lie cyclically in (hole, j].
+     */
+    void
+    shiftErase(std::size_t hole)
+    {
+        std::size_t j = hole;
+        while (true) {
+            j = (j + 1) & mask_;
+            if (slots_[j] == invalidAddr)
+                break;
+            const std::size_t ideal =
+                flat_hash_detail::mixAddr(slots_[j]) & mask_;
+            const bool in_range = hole <= j
+                ? (hole < ideal && ideal <= j)
+                : (hole < ideal || ideal <= j);
+            if (!in_range) {
+                slots_[hole] = slots_[j];
+                hole = j;
+            }
+        }
+        slots_[hole] = invalidAddr;
+    }
+
+    void
+    grow()
+    {
+        const std::size_t cap =
+            slots_.empty() ? 64 : slots_.size() * 2;
+        std::vector<Addr> old = std::move(slots_);
+        slots_.assign(cap, invalidAddr);
+        mask_ = cap - 1;
+        for (Addr k : old) {
+            if (k == invalidAddr)
+                continue;
+            std::size_t i = flat_hash_detail::mixAddr(k) & mask_;
+            while (slots_[i] != invalidAddr)
+                i = (i + 1) & mask_;
+            slots_[i] = k;
+        }
+    }
+
+    std::vector<Addr> slots_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+/**
+ * Flat hash map from addresses to @p Value (same probing scheme and
+ * key constraint as AddrSet; no deletion — the one consumer, the
+ * unbounded index table, only ever assigns and clears).
+ */
+template <typename Value>
+class AddrMap
+{
+  public:
+    AddrMap() = default;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Pointer to the value mapped to @p k, or nullptr. */
+    const Value *
+    find(Addr k) const
+    {
+        if (keys_.empty())
+            return nullptr;
+        std::size_t i = flat_hash_detail::mixAddr(k) & mask_;
+        while (keys_[i] != invalidAddr) {
+            if (keys_[i] == k)
+                return &values_[i];
+            i = (i + 1) & mask_;
+        }
+        return nullptr;
+    }
+
+    /** Map @p k to @p v, overwriting any existing mapping. */
+    void
+    insertOrAssign(Addr k, const Value &v)
+    {
+        if (k == invalidAddr)
+            panic("AddrMap: the sentinel key cannot be inserted");
+        if ((size_ + 1) * 2 > keys_.size())
+            grow();
+        std::size_t i = flat_hash_detail::mixAddr(k) & mask_;
+        while (keys_[i] != invalidAddr) {
+            if (keys_[i] == k) {
+                values_[i] = v;
+                return;
+            }
+            i = (i + 1) & mask_;
+        }
+        keys_[i] = k;
+        values_[i] = v;
+        ++size_;
+    }
+
+    /** Drop every mapping, keeping the allocation. */
+    void
+    clear()
+    {
+        std::fill(keys_.begin(), keys_.end(), invalidAddr);
+        size_ = 0;
+    }
+
+  private:
+    void
+    grow()
+    {
+        const std::size_t cap = keys_.empty() ? 64 : keys_.size() * 2;
+        std::vector<Addr> old_keys = std::move(keys_);
+        std::vector<Value> old_values = std::move(values_);
+        keys_.assign(cap, invalidAddr);
+        values_.assign(cap, Value{});
+        mask_ = cap - 1;
+        for (std::size_t s = 0; s < old_keys.size(); ++s) {
+            if (old_keys[s] == invalidAddr)
+                continue;
+            std::size_t i =
+                flat_hash_detail::mixAddr(old_keys[s]) & mask_;
+            while (keys_[i] != invalidAddr)
+                i = (i + 1) & mask_;
+            keys_[i] = old_keys[s];
+            values_[i] = old_values[s];
+        }
+    }
+
+    std::vector<Addr> keys_;
+    std::vector<Value> values_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace pifetch
+
+#endif // PIFETCH_COMMON_FLAT_HASH_HH

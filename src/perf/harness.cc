@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Perf harness implementation.
+ */
+
+#include "perf/harness.hh"
+
+#include <algorithm>
+
+namespace pifetch {
+
+double
+KernelTiming::medianSeconds() const
+{
+    if (repSeconds.empty())
+        return 0.0;
+    std::vector<double> sorted = repSeconds;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t n = sorted.size();
+    // Even count: the mean of the middle pair, so one outlier on
+    // either side of the split cannot move the report.
+    if (n % 2 == 0)
+        return (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0;
+    return sorted[n / 2];
+}
+
+double
+KernelTiming::opsPerSec() const
+{
+    const double med = medianSeconds();
+    return med > 0.0 ? static_cast<double>(opsPerRep) / med : 0.0;
+}
+
+double
+KernelTiming::bytesPerSec() const
+{
+    const double med = medianSeconds();
+    return med > 0.0 ? static_cast<double>(bytesPerRep) / med : 0.0;
+}
+
+ResultValue
+toResult(const KernelTiming &t)
+{
+    ResultValue out = ResultValue::object();
+    out.set("name", t.name);
+    out.set("ops", t.opsPerRep);
+    out.set("bytes", t.bytesPerRep);
+    out.set("reps", t.protocol.reps);
+    out.set("warmup_reps", t.protocol.warmupReps);
+    out.set("median_sec", t.medianSeconds());
+    out.set("ops_per_sec", t.opsPerSec());
+    out.set("bytes_per_sec", t.bytesPerSec());
+    ResultValue reps = ResultValue::array();
+    for (double s : t.repSeconds)
+        reps.push(s);
+    out.set("rep_seconds", std::move(reps));
+    return out;
+}
+
+} // namespace pifetch

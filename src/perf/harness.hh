@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Measurement protocol for the perf kernels.
+ *
+ * Every kernel runs under the same warm-up/repeat protocol: a fixed
+ * number of untimed warm-up repetitions (populating caches, page
+ * tables and branch predictors of the *host*), then N timed
+ * repetitions. The reported throughput is computed from the median
+ * repetition, which is robust against one-off scheduling noise in a
+ * way a mean is not. Op counts are a pure function of the kernel
+ * parameters — only the timings vary between runs — so regression
+ * tooling can compare ops/sec across builds of the same machine.
+ */
+
+#ifndef PIFETCH_PERF_HARNESS_HH
+#define PIFETCH_PERF_HARNESS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/results.hh"
+#include "perf/timer.hh"
+
+namespace pifetch {
+
+/** Warm-up/repeat protocol shared by every kernel. */
+struct PerfProtocol
+{
+    /** Untimed repetitions before measurement begins. */
+    unsigned warmupReps = 1;
+    /** Timed repetitions; the median is reported. */
+    unsigned reps = 5;
+};
+
+/** Timing result of one kernel under the protocol. */
+struct KernelTiming
+{
+    std::string name;
+    /** Operations performed per repetition (instructions, records...). */
+    std::uint64_t opsPerRep = 0;
+    /** Bytes processed per repetition (0 = not meaningful). */
+    std::uint64_t bytesPerRep = 0;
+    /** The protocol that produced repSeconds. */
+    PerfProtocol protocol;
+    /** Wall-clock seconds of each timed repetition, in run order. */
+    std::vector<double> repSeconds;
+
+    /** Median repetition time in seconds (0 when nothing ran). */
+    double medianSeconds() const;
+
+    /** opsPerRep / medianSeconds (0 when unmeasurable). */
+    double opsPerSec() const;
+
+    /** bytesPerRep / medianSeconds (0 when unmeasurable). */
+    double bytesPerSec() const;
+};
+
+/**
+ * Run @p fn under @p protocol and record per-repetition timings.
+ *
+ * @p fn must perform exactly @p ops_per_rep operations per call; it is
+ * invoked protocol.warmupReps + protocol.reps times in total.
+ */
+template <typename Fn>
+KernelTiming
+measureKernel(const std::string &name, const PerfProtocol &protocol,
+              std::uint64_t ops_per_rep, std::uint64_t bytes_per_rep,
+              Fn &&fn)
+{
+    KernelTiming t;
+    t.name = name;
+    t.opsPerRep = ops_per_rep;
+    t.bytesPerRep = bytes_per_rep;
+    t.protocol = protocol;
+    for (unsigned r = 0; r < protocol.warmupReps; ++r)
+        fn();
+    t.repSeconds.reserve(protocol.reps);
+    StopWatch watch;
+    for (unsigned r = 0; r < protocol.reps; ++r) {
+        watch.restart();
+        fn();
+        t.repSeconds.push_back(watch.elapsedSeconds());
+    }
+    return t;
+}
+
+/**
+ * Serialize one kernel timing as the BENCH_*.json kernel entry:
+ * {name, ops, bytes, reps, warmup_reps, median_sec, ops_per_sec,
+ *  bytes_per_sec, rep_seconds}. The key set is locked by
+ * tests/test_perf.cc and consumed by scripts/perf_compare.py.
+ */
+ResultValue toResult(const KernelTiming &t);
+
+} // namespace pifetch
+
+#endif // PIFETCH_PERF_HARNESS_HH

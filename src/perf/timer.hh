@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Steady-clock timing primitives for the perf harness.
+ *
+ * All wall-clock measurement in the perf subsystem goes through this
+ * header so the clock choice is made exactly once: steady_clock,
+ * which is monotonic (never steps backwards on NTP adjustment) and is
+ * the highest-resolution monotonic clock the standard guarantees.
+ */
+
+#ifndef PIFETCH_PERF_TIMER_HH
+#define PIFETCH_PERF_TIMER_HH
+
+#include <chrono>
+
+namespace pifetch {
+
+/** Monotonic timestamp in seconds since an arbitrary epoch. */
+inline double
+monotonicSeconds()
+{
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now.time_since_epoch())
+        .count();
+}
+
+/**
+ * A restartable stopwatch over the steady clock.
+ *
+ * elapsedSeconds() is non-decreasing between restarts: consecutive
+ * calls without an intervening restart() never report a smaller
+ * elapsed time (locked by tests/test_perf.cc).
+ */
+class StopWatch
+{
+  public:
+    StopWatch() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Reset the epoch to now. */
+    void restart() { start_ = std::chrono::steady_clock::now(); }
+
+    /** Seconds since construction or the last restart(). */
+    double
+    elapsedSeconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace pifetch
+
+#endif // PIFETCH_PERF_TIMER_HH

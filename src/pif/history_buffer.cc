@@ -5,41 +5,23 @@
 
 #include "pif/history_buffer.hh"
 
-#include "common/types.hh"
-
 namespace pifetch {
 
 HistoryBuffer::HistoryBuffer(std::uint64_t capacity)
     : capacity_(capacity)
 {
-    if (capacity_ > 0)
+    if (capacity_ > 0) {
+        if ((capacity_ & (capacity_ - 1)) == 0)
+            mask_ = capacity_ - 1;
         ring_.resize(capacity_);
-}
-
-std::uint64_t
-HistoryBuffer::append(const SpatialRegion &rec)
-{
-    const std::uint64_t seq = next_++;
-    if (capacity_ == 0) {
-        ring_.push_back(rec);
-    } else {
-        ring_[seq % capacity_] = rec;
     }
-    return seq;
-}
-
-const SpatialRegion &
-HistoryBuffer::at(std::uint64_t seq) const
-{
-    if (!valid(seq))
-        panic("history buffer read of overwritten or unwritten record");
-    return capacity_ == 0 ? ring_[seq] : ring_[seq % capacity_];
 }
 
 void
 HistoryBuffer::reset()
 {
     next_ = 0;
+    writeIdx_ = 0;
     if (capacity_ == 0)
         ring_.clear();
 }

@@ -6,6 +6,13 @@
  * record is addressed by a monotonically increasing sequence number so
  * that index-table pointers and SAB read pointers can detect when the
  * record they reference has been overwritten by newer history.
+ *
+ * The ring is a single flat arena sized once at construction; append
+ * (one per compacted region, on the replay hot path) is a store
+ * through a rolling write cursor, and random access by sequence uses
+ * a mask when the capacity is a power of two (the paper's 32K and the
+ * TL1 split both are) with a modulo fallback for odd capacities (the
+ * 7/8-scaled TL0 split).
  */
 
 #ifndef PIFETCH_PIF_HISTORY_BUFFER_HH
@@ -14,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/types.hh"
 #include "pif/region.hh"
 
 namespace pifetch {
@@ -33,7 +41,19 @@ class HistoryBuffer
      * Append a record.
      * @return the sequence number assigned to it.
      */
-    std::uint64_t append(const SpatialRegion &rec);
+    std::uint64_t
+    append(const SpatialRegion &rec)
+    {
+        const std::uint64_t seq = next_++;
+        if (capacity_ == 0) {
+            ring_.push_back(rec);
+        } else {
+            ring_[writeIdx_] = rec;
+            if (++writeIdx_ == capacity_)
+                writeIdx_ = 0;
+        }
+        return seq;
+    }
 
     /** True if the record at @p seq is still retained. */
     bool
@@ -45,7 +65,14 @@ class HistoryBuffer
     }
 
     /** Read the record at sequence @p seq (must be valid()). */
-    const SpatialRegion &at(std::uint64_t seq) const;
+    const SpatialRegion &
+    at(std::uint64_t seq) const
+    {
+        if (!valid(seq))
+            panic("history buffer read of overwritten or unwritten "
+                  "record");
+        return ring_[slotOf(seq)];
+    }
 
     /** Sequence number the next append will receive (the tail). */
     std::uint64_t tail() const { return next_; }
@@ -60,8 +87,21 @@ class HistoryBuffer
     void reset();
 
   private:
+    /** Arena slot holding sequence @p seq. */
+    std::uint64_t
+    slotOf(std::uint64_t seq) const
+    {
+        if (capacity_ == 0)
+            return seq;
+        return mask_ ? (seq & mask_) : (seq % capacity_);
+    }
+
     std::uint64_t capacity_;
+    /** capacity_ - 1 when the capacity is a power of two, else 0. */
+    std::uint64_t mask_ = 0;
     std::uint64_t next_ = 0;
+    /** Next arena slot to write (bounded mode). */
+    std::uint64_t writeIdx_ = 0;
     std::vector<SpatialRegion> ring_;
 };
 

@@ -41,7 +41,7 @@ void
 IndexTable::insert(Addr pc, std::uint64_t seq)
 {
     if (unbounded_) {
-        map_[pc] = seq;
+        map_.insertOrAssign(pc, seq);
         return;
     }
 
@@ -73,11 +73,11 @@ IndexTable::lookup(Addr pc)
 {
     ++lookups_;
     if (unbounded_) {
-        auto it = map_.find(pc);
-        if (it == map_.end())
+        const std::uint64_t *seq = map_.find(pc);
+        if (!seq)
             return std::nullopt;
         ++hits_;
-        return it->second;
+        return *seq;
     }
 
     const std::uint64_t base = (setHash(pc) & setMask_) * assoc_;

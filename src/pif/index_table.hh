@@ -6,8 +6,9 @@
  * buffer location of its most recent record. Insertion is conditional
  * on the trigger being tagged (not explicitly prefetched); lookup is
  * performed when the core issues a fetch that was not prefetched.
- * Supports an unbounded mode (hash map) for the no-storage-limit
- * studies.
+ * Supports an unbounded mode for the no-storage-limit studies,
+ * backed by an open-addressing flat map (common/flat_hash.hh) — the
+ * lookup sits on the per-fetch hot path of every Figure 10 run.
  */
 
 #ifndef PIFETCH_PIF_INDEX_TABLE_HH
@@ -15,9 +16,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.hh"
 #include "common/types.hh"
 
 namespace pifetch {
@@ -65,7 +66,7 @@ class IndexTable
     std::uint64_t setMask_ = 0;
     std::uint64_t tick_ = 0;
     std::vector<Entry> entries_;
-    std::unordered_map<Addr, std::uint64_t> map_;
+    AddrMap<std::uint64_t> map_;
 
     std::uint64_t lookups_ = 0;
     std::uint64_t hits_ = 0;

@@ -9,13 +9,6 @@
 
 namespace pifetch {
 
-namespace {
-
-/** Queue depth bound: drop candidates beyond this (hardware queue). */
-constexpr std::size_t prefetchQueueCap = 256;
-
-} // namespace
-
 PifPrefetcher::PifPrefetcher(const PifConfig &cfg, bool unbounded_storage)
     : cfg_(cfg)
 {
@@ -56,103 +49,6 @@ PifPrefetcher::PifPrefetcher(const PifConfig &cfg, bool unbounded_storage)
     for (unsigned s = 0; s < cfg_.numSabs; ++s) {
         sabs_.emplace_back(cfg_.sabWindowRegions, cfg_.blocksBefore);
     }
-}
-
-void
-PifPrefetcher::enqueue(Addr block)
-{
-    if (queued_.count(block) || queue_.size() >= prefetchQueueCap)
-        return;
-    queue_.push_back(block);
-    queued_.insert(block);
-    ++issued_;
-}
-
-void
-PifPrefetcher::recordRegion(Chain &chain, const SpatialRegion &rec)
-{
-    if (!chain.temporal->admit(rec))
-        return;  // filtered loop-iteration redundancy
-    const std::uint64_t seq = chain.history->append(rec);
-    // Index insertion is conditional on the fetch-stage tag; history
-    // insertion is unconditional (Section 4.2).
-    if (rec.triggerTagged)
-        chain.index->insert(rec.triggerPc, seq);
-}
-
-void
-PifPrefetcher::onRetire(const RetiredInstr &instr, bool tagged)
-{
-    Chain &chain = chains_[chainFor(instr.trapLevel)];
-    if (auto done = chain.spatial->observe(instr.pc, tagged,
-                                           instr.trapLevel)) {
-        recordRegion(chain, *done);
-    }
-}
-
-void
-PifPrefetcher::onFetchAccess(const FetchInfo &info)
-{
-    // 1. Stream advancement: active SABs watch every front-end fetch.
-    scratch_.clear();
-    bool in_stream = false;
-    for (StreamAddressBuffer &sab : sabs_) {
-        if (sab.onAccess(info.block, scratch_)) {
-            in_stream = true;
-            sab.touch(++sabTick_);
-        }
-    }
-
-    // Coverage accounting (correct-path fetches only).
-    if (info.correctPath) {
-        const TrapLevel tl = std::min<TrapLevel>(info.trapLevel,
-                                                 maxTrapLevels - 1);
-        ++total_[tl];
-        const bool covered = (info.hit && info.wasPrefetched) ||
-                             in_stream || queued_.count(info.block) != 0;
-        if (covered)
-            ++covered_[tl];
-    }
-
-    // 2. Stream trigger: a fetch that was not delivered by a prefetch
-    // consults the index table (Section 4.3).
-    if (!(info.hit && info.wasPrefetched) && !in_stream) {
-        Chain &chain = chains_[chainFor(info.trapLevel)];
-        if (auto seq = chain.index->lookup(info.pc)) {
-            if (chain.history->valid(*seq)) {
-                // Allocate the LRU SAB for the new stream.
-                StreamAddressBuffer *victim = &sabs_[0];
-                for (StreamAddressBuffer &sab : sabs_) {
-                    if (!sab.active()) {
-                        victim = &sab;
-                        break;
-                    }
-                    if (sab.lastUse() < victim->lastUse())
-                        victim = &sab;
-                }
-                victim->allocate(chain.history.get(), *seq, scratch_);
-                victim->touch(++sabTick_);
-                ++sabAllocations_;
-            }
-        }
-    }
-
-    for (Addr b : scratch_)
-        enqueue(b);
-}
-
-unsigned
-PifPrefetcher::drainRequests(std::vector<Addr> &out, unsigned max)
-{
-    unsigned n = 0;
-    while (n < max && !queue_.empty()) {
-        const Addr b = queue_.front();
-        queue_.pop_front();
-        queued_.erase(b);
-        out.push_back(b);
-        ++n;
-    }
-    return n;
 }
 
 double

@@ -11,13 +11,14 @@
 #ifndef PIFETCH_PIF_PIF_PREFETCHER_HH
 #define PIFETCH_PIF_PIF_PREFETCHER_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/flat_hash.hh"
 #include "pif/history_buffer.hh"
 #include "pif/index_table.hh"
 #include "pif/sab.hh"
@@ -35,7 +36,7 @@ namespace pifetch {
  * so handler noise cannot fragment application streams; the history
  * buffer capacity is split 7/8 : 1/8 between TL0 and TL1.
  */
-class PifPrefetcher : public Prefetcher
+class PifPrefetcher final : public Prefetcher
 {
   public:
     /**
@@ -48,6 +49,9 @@ class PifPrefetcher : public Prefetcher
 
     std::string name() const override { return "PIF"; }
 
+    // The three engine hooks run on every instruction of every replay;
+    // they are defined inline (below the class) so the engines'
+    // monomorphized loops can fold them in without LTO.
     void onFetchAccess(const FetchInfo &info) override;
     void onRetire(const RetiredInstr &instr, bool tagged) override;
     unsigned drainRequests(std::vector<Addr> &out, unsigned max) override;
@@ -99,6 +103,9 @@ class PifPrefetcher : public Prefetcher
     }
 
   private:
+    /** Queue depth bound: drop candidates beyond this (hardware queue). */
+    static constexpr std::size_t prefetchQueueCap = 256;
+
     /** Recording chain for one trap level. */
     struct Chain
     {
@@ -127,13 +134,110 @@ class PifPrefetcher : public Prefetcher
     std::uint64_t sabTick_ = 0;
 
     std::deque<Addr> queue_;
-    std::unordered_set<Addr> queued_;
+    AddrSet queued_;
     std::vector<Addr> scratch_;  //!< SAB emission buffer
 
     std::uint64_t covered_[maxTrapLevels] = {0, 0};
     std::uint64_t total_[maxTrapLevels] = {0, 0};
     std::uint64_t sabAllocations_ = 0;
 };
+
+inline void
+PifPrefetcher::enqueue(Addr block)
+{
+    if (queued_.count(block) || queue_.size() >= prefetchQueueCap)
+        return;
+    queue_.push_back(block);
+    queued_.insert(block);
+    ++issued_;
+}
+
+inline void
+PifPrefetcher::recordRegion(Chain &chain, const SpatialRegion &rec)
+{
+    if (!chain.temporal->admit(rec))
+        return;  // filtered loop-iteration redundancy
+    const std::uint64_t seq = chain.history->append(rec);
+    // Index insertion is conditional on the fetch-stage tag; history
+    // insertion is unconditional (Section 4.2).
+    if (rec.triggerTagged)
+        chain.index->insert(rec.triggerPc, seq);
+}
+
+inline void
+PifPrefetcher::onRetire(const RetiredInstr &instr, bool tagged)
+{
+    Chain &chain = chains_[chainFor(instr.trapLevel)];
+    if (auto done = chain.spatial->observe(instr.pc, tagged,
+                                           instr.trapLevel)) {
+        recordRegion(chain, *done);
+    }
+}
+
+inline void
+PifPrefetcher::onFetchAccess(const FetchInfo &info)
+{
+    // 1. Stream advancement: active SABs watch every front-end fetch.
+    scratch_.clear();
+    bool in_stream = false;
+    for (StreamAddressBuffer &sab : sabs_) {
+        if (sab.onAccess(info.block, scratch_)) {
+            in_stream = true;
+            sab.touch(++sabTick_);
+        }
+    }
+
+    // Coverage accounting (correct-path fetches only).
+    if (info.correctPath) {
+        const TrapLevel tl = std::min<TrapLevel>(info.trapLevel,
+                                                 maxTrapLevels - 1);
+        ++total_[tl];
+        const bool covered = (info.hit && info.wasPrefetched) ||
+                             in_stream || queued_.count(info.block) != 0;
+        if (covered)
+            ++covered_[tl];
+    }
+
+    // 2. Stream trigger: a fetch that was not delivered by a prefetch
+    // consults the index table (Section 4.3).
+    if (!(info.hit && info.wasPrefetched) && !in_stream) {
+        Chain &chain = chains_[chainFor(info.trapLevel)];
+        if (auto seq = chain.index->lookup(info.pc)) {
+            if (chain.history->valid(*seq)) {
+                // Allocate the LRU SAB for the new stream.
+                StreamAddressBuffer *victim = &sabs_[0];
+                for (StreamAddressBuffer &sab : sabs_) {
+                    if (!sab.active()) {
+                        victim = &sab;
+                        break;
+                    }
+                    if (sab.lastUse() < victim->lastUse())
+                        victim = &sab;
+                }
+                victim->allocate(chain.history.get(), *seq, scratch_);
+                victim->touch(++sabTick_);
+                ++sabAllocations_;
+            }
+        }
+    }
+
+    for (Addr b : scratch_)
+        enqueue(b);
+}
+
+inline unsigned
+PifPrefetcher::drainRequests(std::vector<Addr> &out, unsigned max)
+{
+    unsigned n = 0;
+    while (n < max && !queue_.empty()) {
+        const Addr b = queue_.front();
+        queue_.pop_front();
+        queued_.erase(b);
+        out.push_back(b);
+        ++n;
+    }
+    return n;
+}
 
 } // namespace pifetch
 

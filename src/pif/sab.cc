@@ -61,51 +61,4 @@ StreamAddressBuffer::allocate(const HistoryBuffer *hist, std::uint64_t seq,
         active_ = false;
 }
 
-bool
-StreamAddressBuffer::regionCovers(const SpatialRegion &rec,
-                                  Addr block) const
-{
-    const std::int64_t off = static_cast<std::int64_t>(block) -
-        static_cast<std::int64_t>(rec.triggerBlock());
-    if (off == 0)
-        return true;
-    if (off < -static_cast<std::int64_t>(blocksBefore_) ||
-        off > static_cast<std::int64_t>(31 - blocksBefore_)) {
-        return false;
-    }
-    return rec.testOffset(static_cast<int>(off), blocksBefore_);
-}
-
-bool
-StreamAddressBuffer::windowCovers(Addr block) const
-{
-    if (!active_)
-        return false;
-    for (const SpatialRegion &rec : window_) {
-        if (regionCovers(rec, block))
-            return true;
-    }
-    return false;
-}
-
-bool
-StreamAddressBuffer::onAccess(Addr block, std::vector<Addr> &out)
-{
-    if (!active_)
-        return false;
-
-    for (std::size_t i = 0; i < window_.size(); ++i) {
-        if (!regionCovers(window_[i], block))
-            continue;
-        // Matched region i: retire everything before it and slide the
-        // window forward, issuing prefetches for newly loaded records.
-        advanced_ += i;
-        window_.erase(window_.begin(),
-                      window_.begin() + static_cast<std::ptrdiff_t>(i));
-        refill(out);
-        return true;
-    }
-    return false;
-}
-
 } // namespace pifetch

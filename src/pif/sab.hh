@@ -7,13 +7,17 @@
  * it issues prefetch candidates for every block encoded in the window;
  * as the core's fetches march through the stream, the SAB advances its
  * history pointer, loading further records and issuing their blocks.
+ *
+ * onAccess() runs for every SAB on every L1-I fetch access — it is
+ * the single hottest prefetcher loop in replay — so the window lives
+ * in a small flat vector (one contiguous scan, retire is a short
+ * memmove) rather than a deque, and the match path is defined inline.
  */
 
 #ifndef PIFETCH_PIF_SAB_HH
 #define PIFETCH_PIF_SAB_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "pif/history_buffer.hh"
@@ -56,7 +60,27 @@ class StreamAddressBuffer
      *
      * @return true if the access matched this stream.
      */
-    bool onAccess(Addr block, std::vector<Addr> &out);
+    bool
+    onAccess(Addr block, std::vector<Addr> &out)
+    {
+        if (!active_)
+            return false;
+
+        for (std::size_t i = 0; i < window_.size(); ++i) {
+            if (!regionCovers(window_[i], block))
+                continue;
+            // Matched region i: retire everything before it and slide
+            // the window forward, issuing prefetches for newly loaded
+            // records.
+            advanced_ += i;
+            window_.erase(window_.begin(),
+                          window_.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+            refill(out);
+            return true;
+        }
+        return false;
+    }
 
     /** True while the SAB has a live window. */
     bool active() const { return active_; }
@@ -71,10 +95,25 @@ class StreamAddressBuffer
     std::uint64_t advanced() const { return advanced_; }
 
     /** True if @p block is covered by any region in the window. */
-    bool windowCovers(Addr block) const;
+    bool
+    windowCovers(Addr block) const
+    {
+        if (!active_)
+            return false;
+        for (const SpatialRegion &rec : window_) {
+            if (regionCovers(rec, block))
+                return true;
+        }
+        return false;
+    }
 
     /** Deactivate (end of stream). */
-    void deactivate() { active_ = false; window_.clear(); }
+    void
+    deactivate()
+    {
+        active_ = false;
+        window_.clear();
+    }
 
   private:
     /** Append the blocks of @p rec to @p out (left-to-right order). */
@@ -84,7 +123,19 @@ class StreamAddressBuffer
     void refill(std::vector<Addr> &out);
 
     /** True if @p rec covers @p block (trigger or set neighbour bit). */
-    bool regionCovers(const SpatialRegion &rec, Addr block) const;
+    bool
+    regionCovers(const SpatialRegion &rec, Addr block) const
+    {
+        const std::int64_t off = static_cast<std::int64_t>(block) -
+            static_cast<std::int64_t>(rec.triggerBlock());
+        if (off == 0)
+            return true;
+        if (off < -static_cast<std::int64_t>(blocksBefore_) ||
+            off > static_cast<std::int64_t>(31 - blocksBefore_)) {
+            return false;
+        }
+        return rec.testOffset(static_cast<int>(off), blocksBefore_);
+    }
 
     unsigned windowRegions_;
     unsigned blocksBefore_;
@@ -92,7 +143,7 @@ class StreamAddressBuffer
     bool active_ = false;
     const HistoryBuffer *hist_ = nullptr;
     std::uint64_t ptr_ = 0;  //!< next history sequence to load
-    std::deque<SpatialRegion> window_;
+    std::vector<SpatialRegion> window_;
     std::uint64_t lastUse_ = 0;
     std::uint64_t advanced_ = 0;
 };

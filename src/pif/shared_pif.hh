@@ -62,7 +62,7 @@ class SharedPifStorage
  * Per-core PIF front half (compactors + SABs) recording into and
  * replaying from a SharedPifStorage.
  */
-class SharedPifPrefetcher : public Prefetcher
+class SharedPifPrefetcher final : public Prefetcher
 {
   public:
     SharedPifPrefetcher(std::shared_ptr<SharedPifStorage> storage);
@@ -103,7 +103,7 @@ class SharedPifPrefetcher : public Prefetcher
     std::uint64_t sabTick_ = 0;
 
     std::deque<Addr> queue_;
-    std::unordered_set<Addr> queued_;
+    AddrSet queued_;
     std::vector<Addr> scratch_;
 
     std::uint64_t covered_ = 0;

@@ -16,46 +16,6 @@ SpatialCompactor::SpatialCompactor(unsigned blocks_before,
 }
 
 std::optional<SpatialRegion>
-SpatialCompactor::observe(Addr pc, bool tagged, TrapLevel tl)
-{
-    ++observedPcs_;
-
-    const Addr block = blockAddr(pc);
-    // Collapse consecutive retired PCs within the same block: the
-    // history predicts block addresses, not instruction addresses.
-    if (block == lastBlock_)
-        return std::nullopt;
-    lastBlock_ = block;
-    ++blockAccesses_;
-
-    if (active_) {
-        const std::int64_t off = static_cast<std::int64_t>(block) -
-            static_cast<std::int64_t>(current_.triggerBlock());
-        const bool inside =
-            off >= -static_cast<std::int64_t>(blocksBefore_) &&
-            off <= static_cast<std::int64_t>(blocksAfter_);
-        if (inside) {
-            if (off != 0)
-                current_.setOffset(static_cast<int>(off), blocksBefore_);
-            return std::nullopt;
-        }
-    }
-
-    // Outside the current region (or no region yet): emit and restart.
-    std::optional<SpatialRegion> done;
-    if (active_) {
-        done = current_;
-        ++regionsEmitted_;
-    }
-    current_ = SpatialRegion{};
-    current_.triggerPc = pc;
-    current_.trapLevel = tl;
-    current_.triggerTagged = tagged;
-    active_ = true;
-    return done;
-}
-
-std::optional<SpatialRegion>
 SpatialCompactor::flush()
 {
     if (!active_)

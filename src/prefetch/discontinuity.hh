@@ -15,9 +15,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_hash.hh"
 #include "prefetch/prefetcher.hh"
 
 namespace pifetch {
@@ -33,7 +33,7 @@ struct DiscontinuityConfig
 /**
  * Discontinuity-table instruction prefetcher.
  */
-class DiscontinuityPrefetcher : public Prefetcher
+class DiscontinuityPrefetcher final : public Prefetcher
 {
   public:
     explicit DiscontinuityPrefetcher(const DiscontinuityConfig &cfg);
@@ -64,7 +64,7 @@ class DiscontinuityPrefetcher : public Prefetcher
 
     Addr lastBlock_ = invalidAddr;
     std::deque<Addr> queue_;
-    std::unordered_set<Addr> queued_;
+    AddrSet queued_;
 };
 
 } // namespace pifetch

@@ -12,9 +12,9 @@
 #define PIFETCH_PREFETCH_NEXT_LINE_HH
 
 #include <deque>
-#include <unordered_set>
 
 #include "common/config.hh"
+#include "common/flat_hash.hh"
 #include "prefetch/prefetcher.hh"
 
 namespace pifetch {
@@ -22,7 +22,7 @@ namespace pifetch {
 /**
  * Next-N-line prefetcher triggered by every fetch access.
  */
-class NextLinePrefetcher : public Prefetcher
+class NextLinePrefetcher final : public Prefetcher
 {
   public:
     explicit NextLinePrefetcher(const NextLineConfig &cfg);
@@ -37,7 +37,7 @@ class NextLinePrefetcher : public Prefetcher
     unsigned degree_;
     Addr lastBlock_ = invalidAddr;
     std::deque<Addr> queue_;
-    std::unordered_set<Addr> queued_;
+    AddrSet queued_;
 };
 
 } // namespace pifetch

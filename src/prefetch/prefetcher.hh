@@ -99,7 +99,7 @@ class Prefetcher
 /**
  * Null prefetcher: the no-prefetch baseline of Figure 10.
  */
-class NullPrefetcher : public Prefetcher
+class NullPrefetcher final : public Prefetcher
 {
   public:
     std::string name() const override { return "None"; }

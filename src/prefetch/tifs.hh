@@ -16,10 +16,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_set>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/flat_hash.hh"
 #include "pif/index_table.hh"
 #include "prefetch/prefetcher.hh"
 
@@ -28,7 +28,7 @@ namespace pifetch {
 /**
  * TIFS: miss-stream temporal streaming at block granularity.
  */
-class TifsPrefetcher : public Prefetcher
+class TifsPrefetcher final : public Prefetcher
 {
   public:
     explicit TifsPrefetcher(const TifsConfig &cfg);
@@ -75,7 +75,7 @@ class TifsPrefetcher : public Prefetcher
     std::uint64_t tick_ = 0;
 
     std::deque<Addr> queue_;
-    std::unordered_set<Addr> queued_;
+    AddrSet queued_;
 };
 
 } // namespace pifetch

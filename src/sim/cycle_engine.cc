@@ -5,6 +5,8 @@
 
 #include "sim/cycle_engine.hh"
 
+#include "sim/prefetcher_dispatch.hh"
+
 namespace pifetch {
 
 namespace {
@@ -44,75 +46,85 @@ CycleEngine::processReadyFills()
     }
 }
 
+template <typename P>
 void
-CycleEngine::stepOne(bool measuring)
+CycleEngine::advanceWith(P &prefetcher, InstCount n, bool measuring)
 {
-    processReadyFills();
+    for (InstCount step = 0; step < n; ++step) {
+        processReadyFills();
 
-    const RetiredInstr instr = exec_.next();
-    events_.clear();
-    const bool tagged = frontend_.step(instr, events_);
+        const RetiredInstr instr = exec_.next();
+        events_.clear();
+        const bool tagged = frontend_.step(instr, events_);
 
-    const bool perfect = kind_ == PrefetcherKind::Perfect;
+        const bool perfect = kind_ == PrefetcherKind::Perfect;
 
-    for (const FetchAccess &ev : events_) {
-        if (ev.correctPath && !ev.hit && !perfect) {
-            // Demand miss: the front-end already performed the
-            // functional fill; charge the timing.
-            auto it = pending_.find(ev.block);
-            Cycle stall;
-            if (it != pending_.end()) {
-                // Late prefetch: wait only the residual latency.
-                const Cycle now = timing_.cycles();
-                stall = it->second > now ? it->second - now : 0;
-                pending_.erase(it);
+        for (const FetchAccess &ev : events_) {
+            if (ev.correctPath && !ev.hit && !perfect) {
+                // Demand miss: the front-end already performed the
+                // functional fill; charge the timing.
+                auto it = pending_.find(ev.block);
+                Cycle stall;
+                if (it != pending_.end()) {
+                    // Late prefetch: wait only the residual latency.
+                    const Cycle now = timing_.cycles();
+                    stall = it->second > now ? it->second - now : 0;
+                    pending_.erase(it);
+                    if (measuring)
+                        ++latePrefetches_;
+                } else {
+                    stall = hierarchy_.request(ev.block);
+                }
+                timing_.fetchStall(stall);
                 if (measuring)
-                    ++latePrefetches_;
-            } else {
-                stall = hierarchy_.request(ev.block);
+                    ++demandMisses_;
             }
-            timing_.fetchStall(stall);
-            if (measuring)
-                ++demandMisses_;
+
+            FetchInfo info;
+            info.block = ev.block;
+            info.pc = ev.correctPath ? instr.pc : blockBase(ev.block);
+            info.hit = ev.hit;
+            info.wasPrefetched = ev.wasPrefetched;
+            info.correctPath = ev.correctPath;
+            info.trapLevel = ev.trapLevel;
+            prefetcher.onFetchAccess(info);
         }
 
-        FetchInfo info;
-        info.block = ev.block;
-        info.pc = ev.correctPath ? instr.pc : blockBase(ev.block);
-        info.hit = ev.hit;
-        info.wasPrefetched = ev.wasPrefetched;
-        info.correctPath = ev.correctPath;
-        info.trapLevel = ev.trapLevel;
-        prefetcher_->onFetchAccess(info);
+        // Branch misprediction penalty: one per mispredict this step.
+        const std::uint64_t misp = frontend_.mispredicts();
+        for (std::uint64_t m = lastMispredicts_; m < misp; ++m)
+            timing_.mispredict();
+        lastMispredicts_ = misp;
+
+        prefetcher.onRetire(instr, tagged);
+        timing_.instruction(instr.trapLevel);
+
+        // Issue prefetches into the hierarchy, MSHR-limited.
+        drain_.clear();
+        prefetcher.drainRequests(drain_, drainPerStep);
+        for (Addr b : drain_) {
+            if (l1i_.probe(b) || pending_.count(b))
+                continue;
+            if (pending_.size() >= cfg_.l1i.mshrs)
+                break;  // MSHRs full: drop (back-pressure)
+            const Cycle lat = hierarchy_.request(b);
+            pending_.emplace(b, timing_.cycles() + lat);
+        }
     }
+}
 
-    // Branch misprediction penalty: one per mispredict this step.
-    const std::uint64_t misp = frontend_.mispredicts();
-    for (std::uint64_t m = lastMispredicts_; m < misp; ++m)
-        timing_.mispredict();
-    lastMispredicts_ = misp;
-
-    prefetcher_->onRetire(instr, tagged);
-    timing_.instruction(instr.trapLevel);
-
-    // Issue prefetches into the hierarchy, MSHR-limited.
-    drain_.clear();
-    prefetcher_->drainRequests(drain_, drainPerStep);
-    for (Addr b : drain_) {
-        if (l1i_.probe(b) || pending_.count(b))
-            continue;
-        if (pending_.size() >= cfg_.l1i.mshrs)
-            break;  // MSHRs full: drop (back-pressure)
-        const Cycle lat = hierarchy_.request(b);
-        pending_.emplace(b, timing_.cycles() + lat);
-    }
+void
+CycleEngine::advance(InstCount n, bool measuring)
+{
+    withConcretePrefetcher(*prefetcher_, [&](auto &p) {
+        advanceWith(p, n, measuring);
+    });
 }
 
 CycleRunResult
 CycleEngine::run(InstCount warmup, InstCount measure)
 {
-    for (InstCount i = 0; i < warmup; ++i)
-        stepOne(false);
+    advance(warmup, false);
 
     // resetStats() rewinds the cycle clock to zero; rebase in-flight
     // fill completion times so stale absolute cycles cannot charge
@@ -129,8 +141,7 @@ CycleEngine::run(InstCount warmup, InstCount measure)
     const std::uint64_t l2h0 = hierarchy_.l2Hits();
     const std::uint64_t l2m0 = hierarchy_.l2Misses();
 
-    for (InstCount i = 0; i < measure; ++i)
-        stepOne(true);
+    advance(measure, true);
 
     CycleRunResult res;
     res.cycles = timing_.cycles();

@@ -62,7 +62,16 @@ class CycleEngine
     MemoryHierarchy &hierarchy() { return hierarchy_; }
 
   private:
-    void stepOne(bool measuring);
+    /**
+     * Execute @p n instructions, dispatched once on the concrete
+     * prefetcher type so the per-instruction hooks devirtualize
+     * (same scheme as TraceEngine::advance; results are identical).
+     */
+    void advance(InstCount n, bool measuring);
+
+    /** The timed loop, monomorphized over the prefetcher type. */
+    template <typename P>
+    void advanceWith(P &prefetcher, InstCount n, bool measuring);
 
     /** Install prefetch fills whose latency has elapsed. */
     void processReadyFills();

@@ -6,6 +6,7 @@
 #include "sim/trace_engine.hh"
 
 #include "pif/pif_prefetcher.hh"
+#include "sim/prefetcher_dispatch.hh"
 
 namespace pifetch {
 
@@ -27,42 +28,48 @@ TraceEngine::TraceEngine(const SystemConfig &cfg, const Program &prog,
     drain_.reserve(drainPerStep);
 }
 
+template <typename P>
 void
-TraceEngine::stepOne()
+TraceEngine::advanceWith(P &prefetcher, InstCount n)
 {
-    const RetiredInstr instr = exec_.next();
+    for (InstCount i = 0; i < n; ++i) {
+        const RetiredInstr instr = exec_.next();
 
-    events_.clear();
-    const bool tagged = frontend_.step(instr, events_);
+        events_.clear();
+        const bool tagged = frontend_.step(instr, events_);
 
-    for (const FetchAccess &ev : events_) {
-        FetchInfo info;
-        info.block = ev.block;
-        info.pc = ev.correctPath ? instr.pc : blockBase(ev.block);
-        info.hit = ev.hit;
-        info.wasPrefetched = ev.wasPrefetched;
-        info.correctPath = ev.correctPath;
-        info.trapLevel = ev.trapLevel;
-        prefetcher_->onFetchAccess(info);
-    }
+        for (const FetchAccess &ev : events_) {
+            FetchInfo info;
+            info.block = ev.block;
+            info.pc = ev.correctPath ? instr.pc : blockBase(ev.block);
+            info.hit = ev.hit;
+            info.wasPrefetched = ev.wasPrefetched;
+            info.correctPath = ev.correctPath;
+            info.trapLevel = ev.trapLevel;
+            prefetcher.onFetchAccess(info);
+        }
 
-    prefetcher_->onRetire(instr, tagged);
+        prefetcher.onRetire(instr, tagged);
 
-    // Apply prefetch candidates: probe the tags first (Section 4.3's
-    // line-buffer path); a functional fill models a timely prefetch.
-    drain_.clear();
-    prefetcher_->drainRequests(drain_, drainPerStep);
-    for (Addr b : drain_) {
-        if (!l1i_.probe(b))
-            l1i_.fill(b, true);
+        // Apply prefetch candidates: probe the tags first (Section
+        // 4.3's line-buffer path); a functional fill models a timely
+        // prefetch.
+        drain_.clear();
+        prefetcher.drainRequests(drain_, drainPerStep);
+        for (Addr b : drain_) {
+            if (!l1i_.probe(b))
+                l1i_.fill(b, true);
+        }
     }
 }
 
 void
 TraceEngine::advance(InstCount n)
 {
-    for (InstCount i = 0; i < n; ++i)
-        stepOne();
+    // Monomorphize the replay loop on the known prefetcher set (the
+    // ladder lives in sim/prefetcher_dispatch.hh).
+    withConcretePrefetcher(*prefetcher_,
+                           [&](auto &p) { advanceWith(p, n); });
 }
 
 TraceRunResult

@@ -133,16 +133,22 @@ readTrace(const std::string &path, std::vector<RetiredInstr> &records)
     // stream is not a regular file), skip the reserve and let the
     // vector grow with the records that actually arrive.
     const long long payload = payloadBytes(f.get());
-    if (payload >= 0) {
+    const bool sized = payload >= 0;
+    if (sized) {
         if (h.count > static_cast<unsigned long long>(payload) /
                           sizeof(DiskRecord)) {
             return false;
         }
-        records.reserve(h.count);
+        // The count is validated against real bytes on disk, so the
+        // whole destination can be sized up front and each chunk
+        // converted straight into its final slots — no push_back
+        // capacity checks on the 32K-record decode path.
+        records.resize(h.count);
     }
     std::vector<DiskRecord> chunk(
         std::min<std::uint64_t>(chunkRecords,
                                 std::max<std::uint64_t>(h.count, 1)));
+    std::uint64_t pos = 0;
     std::uint64_t remaining = h.count;
     while (remaining > 0) {
         const std::size_t n = static_cast<std::size_t>(
@@ -160,8 +166,12 @@ readTrace(const std::string &path, std::vector<RetiredInstr> &records)
             r.kind = static_cast<InstrKind>(d.kind);
             r.trapLevel = d.trapLevel;
             r.taken = d.taken != 0;
-            records.push_back(r);
+            if (sized)
+                records[pos + i] = r;
+            else
+                records.push_back(r);
         }
+        pos += n;
         remaining -= n;
     }
     return true;

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Flat-hash container tests: AddrSet/AddrMap must be drop-in
+ * replacements for the std containers on the prefetcher hot paths, so
+ * they are checked against std::unordered_set/map references under
+ * randomized workloads — including the backward-shift deletion, whose
+ * cluster-repair condition is the one subtle piece.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/flat_hash.hh"
+#include "common/rng.hh"
+
+namespace pifetch {
+namespace {
+
+TEST(AddrSet, BasicInsertEraseContains)
+{
+    AddrSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_FALSE(s.contains(7));
+    EXPECT_EQ(s.count(7), 0u);
+
+    EXPECT_TRUE(s.insert(7));
+    EXPECT_FALSE(s.insert(7));  // duplicate
+    EXPECT_TRUE(s.contains(7));
+    EXPECT_EQ(s.count(7), 1u);
+    EXPECT_EQ(s.size(), 1u);
+
+    EXPECT_TRUE(s.erase(7));
+    EXPECT_FALSE(s.erase(7));
+    EXPECT_FALSE(s.contains(7));
+    EXPECT_TRUE(s.empty());
+
+    // Zero is an ordinary key (only invalidAddr is reserved).
+    EXPECT_TRUE(s.insert(0));
+    EXPECT_TRUE(s.contains(0));
+}
+
+TEST(AddrSet, ClearKeepsWorking)
+{
+    AddrSet s;
+    for (Addr k = 0; k < 100; ++k)
+        s.insert(k * 64);
+    EXPECT_EQ(s.size(), 100u);
+    s.clear();
+    EXPECT_EQ(s.size(), 0u);
+    for (Addr k = 0; k < 100; ++k)
+        EXPECT_FALSE(s.contains(k * 64));
+    EXPECT_TRUE(s.insert(640));
+    EXPECT_TRUE(s.contains(640));
+}
+
+TEST(AddrSet, GrowthPreservesMembership)
+{
+    AddrSet s;
+    // Far past several growth thresholds.
+    for (Addr k = 1; k <= 5000; ++k)
+        ASSERT_TRUE(s.insert(k * 0x9e3779b9ull));
+    EXPECT_EQ(s.size(), 5000u);
+    for (Addr k = 1; k <= 5000; ++k)
+        ASSERT_TRUE(s.contains(k * 0x9e3779b9ull));
+    EXPECT_FALSE(s.contains(0x123456789abcull));
+}
+
+TEST(AddrSet, RandomizedAgainstStdReference)
+{
+    // The prefetch-queue usage pattern: bounded population with heavy
+    // insert/erase churn. Every operation's return value and the full
+    // membership view must match std::unordered_set exactly.
+    Rng rng(0xf1a7);
+    AddrSet set;
+    std::unordered_set<Addr> ref;
+    for (int op = 0; op < 200000; ++op) {
+        // Small key space forces collisions, duplicates and deletes
+        // inside shared probe clusters.
+        const Addr key = rng.range(0, 511);
+        switch (rng.range(0, 2)) {
+          case 0:
+            ASSERT_EQ(set.insert(key), ref.insert(key).second);
+            break;
+          case 1:
+            ASSERT_EQ(set.erase(key), ref.erase(key) != 0);
+            break;
+          default:
+            ASSERT_EQ(set.contains(key), ref.count(key) != 0);
+            break;
+        }
+        ASSERT_EQ(set.size(), ref.size());
+    }
+    for (Addr key = 0; key < 512; ++key)
+        ASSERT_EQ(set.contains(key), ref.count(key) != 0);
+}
+
+TEST(AddrSetDeathTest, SentinelKeyPanics)
+{
+    AddrSet s;
+    EXPECT_DEATH(s.insert(invalidAddr), "sentinel");
+}
+
+TEST(AddrMap, BasicFindAssign)
+{
+    AddrMap<std::uint64_t> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(42), nullptr);
+
+    m.insertOrAssign(42, 7);
+    ASSERT_NE(m.find(42), nullptr);
+    EXPECT_EQ(*m.find(42), 7u);
+    EXPECT_EQ(m.size(), 1u);
+
+    // Last write wins (the index table's recency semantics).
+    m.insertOrAssign(42, 9);
+    EXPECT_EQ(*m.find(42), 9u);
+    EXPECT_EQ(m.size(), 1u);
+
+    m.clear();
+    EXPECT_EQ(m.find(42), nullptr);
+    EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(AddrMap, RandomizedAgainstStdReference)
+{
+    Rng rng(0x5eed);
+    AddrMap<std::uint64_t> map;
+    std::unordered_map<Addr, std::uint64_t> ref;
+    for (int op = 0; op < 100000; ++op) {
+        const Addr key = rng.range(0, 2047);
+        if (rng.chance(0.7)) {
+            const std::uint64_t value = rng.range(0, 1u << 20);
+            map.insertOrAssign(key, value);
+            ref[key] = value;
+        } else {
+            const std::uint64_t *found = map.find(key);
+            const auto it = ref.find(key);
+            if (it == ref.end()) {
+                ASSERT_EQ(found, nullptr);
+            } else {
+                ASSERT_NE(found, nullptr);
+                ASSERT_EQ(*found, it->second);
+            }
+        }
+        ASSERT_EQ(map.size(), ref.size());
+    }
+}
+
+} // namespace
+} // namespace pifetch
