@@ -16,6 +16,10 @@
  *   pifetch perf [--list | options]
  *       Time the simulator's hot kernels (docs/performance.md) and
  *       emit a BENCH_*.json document for scripts/perf_compare.py.
+ *   pifetch check [options]
+ *       Fuzz randomized scenarios through the differential and
+ *       metamorphic oracle battery (docs/validation.md); failing
+ *       scenarios shrink to a minimal replayable JSON repro.
  *
  * Options (run and sweep):
  *   --workload W       restrict to workload W (repeatable);
@@ -43,9 +47,11 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "check/checker.hh"
 #include "common/parallel.hh"
 #include "perf/kernels.hh"
 #include "sim/registry.hh"
@@ -67,6 +73,7 @@ usage(std::FILE *out)
         "                            run a parameter grid\n"
         "  golden [--list|<exp>]     emit canonical golden JSON\n"
         "  perf [--list|options]     time the hot kernels\n"
+        "  check [options]           fuzz + differential validation\n"
         "  help                      this message\n"
         "\n"
         "run/sweep options:\n"
@@ -90,7 +97,20 @@ usage(std::FILE *out)
         "  --scale X      op-count multiplier, X > 0 (default 1.0)\n"
         "  --workload W   driving workload (default db2)\n"
         "  --seed N       stream-generation seed\n"
-        "  --json/--csv/--quiet as above\n",
+        "  --json/--csv/--quiet as above\n"
+        "\n"
+        "check options:\n"
+        "  --seeds N      scenarios to fuzz (default 25)\n"
+        "  --seed N       first fuzz seed (default 1)\n"
+        "  --replay-seed N  run exactly one fuzz seed\n"
+        "  --replay FILE  run the scenario in a repro JSON file\n"
+        "  --repro FILE   failing-scenario JSON path\n"
+        "                 (default pifetch-check-repro.json)\n"
+        "  --threads N    worker lanes over scenarios (0 = auto)\n"
+        "  --no-shrink    keep failing scenarios unshrunk\n"
+        "  --inject-fault K  deliberate break for self-tests\n"
+        "                 (degree-miscount | coverage-drop)\n"
+        "  --json/--quiet as above\n",
         out);
     return out == stderr ? 2 : 0;
 }
@@ -609,6 +629,249 @@ cmdPerf(int argc, char **argv)
     return emitOutputs(out, runPerfSuite(opts)) ? 0 : 1;
 }
 
+/** Print one failing scenario of a check report. */
+void
+printCheckFailure(const ScenarioReport &r)
+{
+    std::printf("FAIL seed %llu:\n",
+                static_cast<unsigned long long>(r.scenario.seed));
+    for (const CheckFailure &f : r.failures)
+        std::printf("  [%s] %s\n", f.invariant.c_str(),
+                    f.detail.c_str());
+    if (r.shrunkValid) {
+        std::printf("  shrunk in %u steps to: workload '%s', kind %s, "
+                    "warmup %llu, measure %llu\n",
+                    r.shrinkSteps, r.shrunk.params.name.c_str(),
+                    prefetcherKey(r.shrunk.kind).c_str(),
+                    static_cast<unsigned long long>(r.shrunk.warmup),
+                    static_cast<unsigned long long>(r.shrunk.measure));
+    }
+}
+
+int
+cmdCheck(int argc, char **argv)
+{
+    CheckOptions opts;
+    std::string jsonPath;
+    std::string reproPath = "pifetch-check-repro.json";
+    bool reproExplicit = false;
+    std::string replayPath;
+    bool haveReplaySeed = false;
+    std::uint64_t replaySeed = 0;
+    bool quiet = false;
+    /** Last fuzz-only option seen, for the replay-conflict check. */
+    std::string fuzzOnlyOption;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "pifetch check: %s needs a value\n",
+                             arg.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        const auto badValue = [&](const char *v) {
+            std::fprintf(stderr,
+                         "pifetch check: bad value '%s' for %s\n",
+                         v ? v : "<missing>", arg.c_str());
+            return 2;
+        };
+
+        if (arg == "--seeds" || arg == "--seed" ||
+            arg == "--replay-seed" || arg == "--threads") {
+            const char *v = next();
+            std::uint64_t n = 0;
+            if (!v || !parseU64Arg(v, n))
+                return badValue(v);
+            if (arg == "--seeds") {
+                if (n == 0 || n > 100'000) {
+                    std::fprintf(stderr,
+                                 "pifetch check: --seeds must be in "
+                                 "1..100000\n");
+                    return 2;
+                }
+                opts.seeds = static_cast<unsigned>(n);
+                fuzzOnlyOption = arg;
+            } else if (arg == "--seed") {
+                opts.baseSeed = n;
+                fuzzOnlyOption = arg;
+            } else if (arg == "--replay-seed") {
+                haveReplaySeed = true;
+                replaySeed = n;
+            } else {
+                if (n > 256) {
+                    // Truncating would silently turn e.g. 2^32 into 0
+                    // ("auto"); resolveThreads caps at 256 anyway.
+                    std::fprintf(stderr,
+                                 "pifetch check: --threads must be "
+                                 "<= 256\n");
+                    return 2;
+                }
+                opts.threads = static_cast<unsigned>(n);
+                // Replay runs one scenario whose fan-out shape is the
+                // scenario's own `threads` field, not this option.
+                fuzzOnlyOption = arg;
+            }
+        } else if (arg == "--replay") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            replayPath = v;
+        } else if (arg == "--repro") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            reproPath = v;
+            reproExplicit = true;
+        } else if (arg == "--inject-fault") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            const auto fault = faultFromKey(v);
+            if (!fault) {
+                std::fprintf(stderr,
+                             "pifetch check: unknown fault '%s'\n", v);
+                return 2;
+            }
+            opts.inject = *fault;
+        } else if (arg == "--no-shrink") {
+            opts.shrink = false;
+            fuzzOnlyOption = arg;
+        } else if (arg == "--json") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            jsonPath = v;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            std::fprintf(stderr,
+                         "pifetch check: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    if (!replayPath.empty() && haveReplaySeed) {
+        std::fprintf(stderr,
+                     "pifetch check: --replay and --replay-seed are "
+                     "mutually exclusive\n");
+        return 2;
+    }
+    if ((!replayPath.empty() || haveReplaySeed) &&
+        !fuzzOnlyOption.empty()) {
+        // Accepting-and-ignoring would let "--replay x --seeds 100"
+        // report success for a sweep that never ran.
+        std::fprintf(stderr,
+                     "pifetch check: %s has no effect in replay mode\n",
+                     fuzzOnlyOption.c_str());
+        return 2;
+    }
+    if (!replayPath.empty()) {
+        // Replaying must never clobber the repro being replayed (the
+        // rewritten file would lose the shrunk scenario); only write
+        // one when explicitly asked to, somewhere else.
+        if (!reproExplicit)
+            reproPath.clear();
+        else if (reproPath == replayPath) {
+            std::fprintf(stderr,
+                         "pifetch check: --repro would overwrite the "
+                         "--replay input; pick another path\n");
+            return 2;
+        }
+    }
+
+    CheckReport report;
+    if (!replayPath.empty() || haveReplaySeed) {
+        // Replay mode: exactly one scenario, from a repro file or a
+        // fuzz seed.
+        Scenario scenario;
+        if (haveReplaySeed) {
+            scenario = scenarioFromSeed(replaySeed);
+        } else {
+            std::ifstream is(replayPath, std::ios::binary);
+            std::ostringstream text;
+            text << is.rdbuf();
+            if (!is) {
+                std::fprintf(stderr,
+                             "pifetch check: cannot read %s\n",
+                             replayPath.c_str());
+                return 2;
+            }
+            std::string err;
+            const auto doc = parseJson(text.str(), &err);
+            if (!doc) {
+                std::fprintf(stderr,
+                             "pifetch check: %s: %s\n",
+                             replayPath.c_str(), err.c_str());
+                return 2;
+            }
+            const auto parsed = scenarioFromResult(*doc, &err);
+            if (!parsed) {
+                std::fprintf(stderr,
+                             "pifetch check: %s: %s\n",
+                             replayPath.c_str(), err.c_str());
+                return 2;
+            }
+            scenario = *parsed;
+        }
+        report.baseSeed = scenario.seed;
+        report.seedsRun = 1;
+        std::vector<CheckFailure> failures =
+            runScenario(scenario, opts.inject);
+        if (!failures.empty()) {
+            ScenarioReport entry;
+            entry.scenario = scenario;
+            entry.failures = std::move(failures);
+            entry.shrunk = scenario;
+            report.failures.push_back(std::move(entry));
+        }
+    } else {
+        report = runCheck(opts);
+    }
+
+    const ResultValue doc = toResult(report);
+    if (!quiet && jsonPath != "-") {
+        for (const ScenarioReport &r : report.failures)
+            printCheckFailure(r);
+        std::printf("check: %u scenario%s, %zu failed%s\n",
+                    report.seedsRun, report.seedsRun == 1 ? "" : "s",
+                    report.failures.size(),
+                    report.passed() ? " -- all invariants hold" : "");
+    }
+    // The repro is the artifact CI needs most, so it is written
+    // before (and regardless of) the report, and an I/O error never
+    // masks a violation verdict: "invariants broken" stays exit 1.
+    bool io_failed = false;
+    if (!report.passed() && !reproPath.empty()) {
+        // Ship the first failure (shrunk when available) as a
+        // self-contained repro for `pifetch check --replay`; same
+        // schema as one entry of the report's "failures" array.
+        if (writeOutput(reproPath,
+                        toJson(toResult(report.failures.front()), 2) +
+                            "\n")) {
+            // Keep a `--json -` stdout stream pure JSON: route the
+            // notice to stderr there, like run/sweep keep their
+            // reports off it.
+            if (!quiet) {
+                std::fprintf(jsonPath == "-" ? stderr : stdout,
+                             "repro written to %s\n",
+                             reproPath.c_str());
+            }
+        } else {
+            io_failed = true;
+        }
+    }
+    if (!jsonPath.empty() &&
+        !writeOutput(jsonPath, toJson(doc, 2) + "\n"))
+        io_failed = true;
+    // Exit contract (docs/cli.md): 2 is reserved for usage errors;
+    // output-write failures report 1, matching run/sweep.
+    return (!report.passed() || io_failed) ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -627,6 +890,8 @@ main(int argc, char **argv)
         return cmdGolden(argc, argv);
     if (cmd == "perf")
         return cmdPerf(argc, argv);
+    if (cmd == "check")
+        return cmdCheck(argc, argv);
     if (cmd == "help" || cmd == "--help" || cmd == "-h")
         return usage(stdout);
     std::fprintf(stderr, "pifetch: unknown command '%s'\n",

@@ -13,3 +13,7 @@ cmake -B build -S . -DPIFETCH_BUILD_EXAMPLES=ON && \
 
 # The CLI must enumerate the experiment registry.
 ./pifetch list
+
+# A quick pass of the scenario-fuzzing oracle battery
+# (docs/validation.md); CI runs 25 seeds, the full bar is 100.
+./pifetch check --seeds 5

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Scenario fuzzing, differential validation and shrinking.
+ *
+ * The checker is the standing correctness harness behind
+ * `pifetch check`: it derives randomized-but-valid scenarios from
+ * consecutive seeds, runs each through a battery of differential and
+ * metamorphic oracles (invariants.hh), and — when a scenario fails —
+ * shrinks it to a minimal still-failing scenario that ships as a
+ * replayable JSON repro. Every later scaling or performance PR must
+ * keep this harness green; see docs/validation.md.
+ */
+
+#ifndef PIFETCH_CHECK_CHECKER_HH
+#define PIFETCH_CHECK_CHECKER_HH
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "check/invariants.hh"
+#include "check/scenario.hh"
+
+namespace pifetch {
+
+/**
+ * Deliberate invariant breaks, used to prove the harness catches and
+ * shrinks violations (tests, CI self-checks, PR demonstrations). Each
+ * perturbs one measured statistic after the runs complete and before
+ * the evaluators see it, so the simulator itself stays untouched.
+ */
+enum class FaultInjection {
+    None,
+    /** Mis-count the doubled-degree next-line ablation's issue stat. */
+    DegreeMiscount,
+    /** Depress the large-history PIF coverage below the small one. */
+    CoverageDrop,
+};
+
+/** CLI/JSON token for a fault ("degree-miscount", ...). */
+std::string faultKey(FaultInjection fault);
+
+/** Parse a faultKey() token (exact match; nullopt otherwise). */
+std::optional<FaultInjection> faultFromKey(const std::string &s);
+
+/** Options for one `pifetch check` invocation. */
+struct CheckOptions
+{
+    /** First fuzz seed; seeds baseSeed .. baseSeed+seeds-1 run. */
+    std::uint64_t baseSeed = 1;
+    /** Number of scenarios to fuzz. */
+    unsigned seeds = 25;
+    /** Worker lanes fanning scenarios (0 = auto / PIFETCH_THREADS). */
+    unsigned threads = 0;
+    /** Shrink failing scenarios to minimal repros. */
+    bool shrink = true;
+    /** Deliberate break for harness self-tests. */
+    FaultInjection inject = FaultInjection::None;
+};
+
+/** Everything recorded about one failing scenario. */
+struct ScenarioReport
+{
+    Scenario scenario;                  //!< as fuzzed (or replayed)
+    std::vector<CheckFailure> failures; //!< violations on `scenario`
+    Scenario shrunk;                    //!< minimal still-failing point
+    unsigned shrinkSteps = 0;           //!< accepted shrink moves
+    bool shrunkValid = false;           //!< shrinking ran and converged
+};
+
+/** Aggregate outcome of a check run. */
+struct CheckReport
+{
+    std::uint64_t baseSeed = 0;
+    unsigned seedsRun = 0;
+    std::vector<ScenarioReport> failures;  //!< failing scenarios only
+
+    bool passed() const { return failures.empty(); }
+};
+
+/**
+ * Run the full oracle battery on one scenario:
+ *  1. functional + timed engine on the scenario's prefetcher, with
+ *     stream digests, cross-checked stat for stat;
+ *  2. prefetcher-off baseline (zero prefetch activity, determinism,
+ *     access-sequence invariance vs the prefetching run);
+ *  3. doubled measurement window (monotone counters, ~2x accesses);
+ *  4. PIF coverage at a quarter vs the full history budget (Fig. 9
+ *     monotonicity);
+ *  5. next-line degree vs doubled degree (issue-count direction);
+ *  6. multicore fan-out at 1 thread vs scenario.threads
+ *     (bit-identical per-core results);
+ *  7. shared-PIF two-core interleaving run twice (bit-identical).
+ *
+ * @return every violated invariant (empty = scenario passes).
+ */
+std::vector<CheckFailure>
+runScenario(const Scenario &sc,
+            FaultInjection inject = FaultInjection::None);
+
+/**
+ * Shrink @p failing toward a minimal scenario for which @p stillFails
+ * holds, by repeatedly halving every dimension toward its floor
+ * (budget first, so later probes get cheaper) and keeping each move
+ * only if the failure persists. Deterministic: the same inputs always
+ * shrink to the same scenario.
+ *
+ * @param steps When non-null, receives the number of accepted moves.
+ */
+Scenario
+shrinkScenario(const Scenario &failing,
+               const std::function<bool(const Scenario &)> &stillFails,
+               unsigned *steps = nullptr);
+
+/** Fuzz opts.seeds scenarios; shrink and record every failure. */
+CheckReport runCheck(const CheckOptions &opts);
+
+/**
+ * Serialize one failing scenario: {seed, failures[], scenario,
+ * shrunk?, shrinkSteps?}. This is both an entry of the full report's
+ * "failures" array and the standalone repro document
+ * `pifetch check --replay` accepts.
+ */
+ResultValue toResult(const ScenarioReport &report);
+
+/** Serialize a report (the `pifetch check --json` document). */
+ResultValue toResult(const CheckReport &report);
+
+} // namespace pifetch
+
+#endif // PIFETCH_CHECK_CHECKER_HH

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Invariant evaluator implementations.
+ */
+
+#include "check/invariants.hh"
+
+#include <cmath>
+#include <sstream>
+
+namespace pifetch {
+
+namespace {
+
+/** Append a failure with a printf-free composed detail string. */
+void
+failure(std::vector<CheckFailure> &out, const char *invariant,
+        const std::string &detail)
+{
+    out.push_back(CheckFailure{invariant, detail});
+}
+
+/** "name a=1 b=2" detail helper. */
+std::string
+pair2(const char *what, const char *an, std::uint64_t a, const char *bn,
+      std::uint64_t b)
+{
+    std::ostringstream os;
+    os << what << ": " << an << "=" << a << " " << bn << "=" << b;
+    return os.str();
+}
+
+void
+requireEqual(std::vector<CheckFailure> &out, const char *invariant,
+             const char *counter, std::uint64_t a, std::uint64_t b)
+{
+    if (a != b)
+        failure(out, invariant, pair2(counter, "a", a, "b", b));
+}
+
+bool
+ratioIn(double v, double lo, double hi)
+{
+    return std::isfinite(v) && v >= lo && v <= hi;
+}
+
+} // namespace
+
+void
+checkTraceSanity(const TraceRunResult &r, const std::string &label,
+                 std::uint64_t l1_blocks, std::vector<CheckFailure> &out)
+{
+    // Counters are deltas over the measurement window, so the pure
+    // pipeline orderings (issued -> fills -> useful) hold only up to
+    // what can straddle the warmup boundary: a full prefetch queue of
+    // already-issued candidates (<= 256 across all prefetchers), and
+    // a cache full of already-filled prefetched lines.
+    constexpr std::uint64_t queueSlack = 256;
+
+    const std::string at = label.empty() ? "" : " (" + label + ")";
+    if (r.misses > r.accesses) {
+        failure(out, "trace-stat-sanity",
+                pair2(("misses exceed accesses" + at).c_str(), "misses",
+                      r.misses, "accesses", r.accesses));
+    }
+    if (r.prefetchFills > r.prefetchIssued + queueSlack) {
+        failure(out, "trace-stat-sanity",
+                pair2(("fills exceed issued + queue slack" + at).c_str(),
+                      "fills", r.prefetchFills, "issued",
+                      r.prefetchIssued));
+    }
+    if (r.usefulPrefetches > r.prefetchFills + l1_blocks) {
+        failure(out, "trace-stat-sanity",
+                pair2(("useful exceed fills + cache capacity" + at)
+                          .c_str(),
+                      "useful", r.usefulPrefetches, "fills",
+                      r.prefetchFills));
+    }
+    for (const double cov :
+         {r.pifCoverage, r.pifCoverageTl0, r.pifCoverageTl1}) {
+        if (!(cov >= 0.0 && cov <= 1.0)) {
+            std::ostringstream os;
+            os << "coverage outside [0,1]" << at << ": " << cov;
+            failure(out, "trace-stat-sanity", os.str());
+        }
+    }
+}
+
+void
+checkCycleSanity(const CycleRunResult &r, bool perfect,
+                 std::vector<CheckFailure> &out)
+{
+    if (r.userInstrs > r.instrs) {
+        failure(out, "cycle-stat-sanity",
+                pair2("user instructions exceed retired", "user",
+                      r.userInstrs, "retired", r.instrs));
+    }
+    if (r.misses > r.accesses) {
+        failure(out, "cycle-stat-sanity",
+                pair2("misses exceed accesses", "misses", r.misses,
+                      "accesses", r.accesses));
+    }
+    if (r.cycles > 0) {
+        const double uipc = static_cast<double>(r.userInstrs) /
+                            static_cast<double>(r.cycles);
+        if (std::fabs(uipc - r.uipc) > 1e-9 * (1.0 + uipc)) {
+            std::ostringstream os;
+            os << "uipc inconsistent with components: reported "
+               << r.uipc << " recomputed " << uipc;
+            failure(out, "cycle-stat-sanity", os.str());
+        }
+    }
+    if (perfect) {
+        if (r.demandMisses != 0 || r.fetchStallCycles != 0) {
+            failure(out, "cycle-stat-sanity",
+                    pair2("perfect cache stalled", "demandMisses",
+                          r.demandMisses, "fetchStallCycles",
+                          r.fetchStallCycles));
+        }
+    } else if (r.demandMisses != r.misses) {
+        // Every correct-path front-end miss charges exactly one
+        // demand stall in the measurement window.
+        failure(out, "cycle-stat-sanity",
+                pair2("demand misses diverge from front-end misses",
+                      "demand", r.demandMisses, "frontend", r.misses));
+    }
+}
+
+void
+checkCrossEngine(const TraceRunResult &trace, const CycleRunResult &cycle,
+                 bool fills_instant, std::vector<CheckFailure> &out)
+{
+    requireEqual(out, "cross-engine-retire-digest",
+                 "retired-instruction stream digest", trace.retireDigest,
+                 cycle.retireDigest);
+    requireEqual(out, "cross-engine-access-digest",
+                 "fetch-access stream digest", trace.accessDigest,
+                 cycle.accessDigest);
+    requireEqual(out, "cross-engine-accesses", "correct-path accesses",
+                 trace.accesses, cycle.accesses);
+    requireEqual(out, "cross-engine-mispredicts", "mispredicts",
+                 trace.mispredicts, cycle.mispredicts);
+    requireEqual(out, "cross-engine-wrong-path", "wrong-path fetches",
+                 trace.wrongPathFetches, cycle.wrongPathFetches);
+    requireEqual(out, "cross-engine-interrupts", "interrupts",
+                 trace.interrupts, cycle.interrupts);
+    requireEqual(out, "cross-engine-instrs", "retired instructions",
+                 trace.instrs, cycle.instrs);
+    if (fills_instant) {
+        // No prefetch fills (or a perfect cache) means fill timing
+        // cannot differ, so the miss streams coincide exactly.
+        requireEqual(out, "cross-engine-misses", "correct-path misses",
+                     trace.misses, cycle.misses);
+    }
+}
+
+void
+checkTraceIdentical(const TraceRunResult &a, const TraceRunResult &b,
+                    const std::string &invariant,
+                    std::vector<CheckFailure> &out)
+{
+    const char *inv = invariant.c_str();
+    requireEqual(out, inv, "instrs", a.instrs, b.instrs);
+    requireEqual(out, inv, "accesses", a.accesses, b.accesses);
+    requireEqual(out, inv, "misses", a.misses, b.misses);
+    requireEqual(out, inv, "wrongPathFetches", a.wrongPathFetches,
+                 b.wrongPathFetches);
+    requireEqual(out, inv, "mispredicts", a.mispredicts, b.mispredicts);
+    requireEqual(out, inv, "interrupts", a.interrupts, b.interrupts);
+    requireEqual(out, inv, "prefetchIssued", a.prefetchIssued,
+                 b.prefetchIssued);
+    requireEqual(out, inv, "prefetchFills", a.prefetchFills,
+                 b.prefetchFills);
+    requireEqual(out, inv, "usefulPrefetches", a.usefulPrefetches,
+                 b.usefulPrefetches);
+    requireEqual(out, inv, "retireDigest", a.retireDigest,
+                 b.retireDigest);
+    requireEqual(out, inv, "accessDigest", a.accessDigest,
+                 b.accessDigest);
+    // Coverage ratios are derived from integer counters, so they must
+    // match to the bit, not within a tolerance.
+    struct CovPair { const char *name; double a; double b; };
+    const CovPair covs[] = {
+        {"pifCoverage", a.pifCoverage, b.pifCoverage},
+        {"pifCoverageTl0", a.pifCoverageTl0, b.pifCoverageTl0},
+        {"pifCoverageTl1", a.pifCoverageTl1, b.pifCoverageTl1},
+    };
+    for (const CovPair &c : covs) {
+        if (c.a != c.b) {
+            std::ostringstream os;
+            os << c.name << ": a=" << c.a << " b=" << c.b;
+            failure(out, inv, os.str());
+        }
+    }
+}
+
+void
+checkPrefetchOff(const TraceRunResult &r, std::vector<CheckFailure> &out)
+{
+    if (r.prefetchIssued != 0 || r.prefetchFills != 0 ||
+        r.usefulPrefetches != 0) {
+        std::ostringstream os;
+        os << "prefetcher-off run reported prefetch activity: issued="
+           << r.prefetchIssued << " fills=" << r.prefetchFills
+           << " useful=" << r.usefulPrefetches;
+        failure(out, "prefetch-off", os.str());
+    }
+    if (r.pifCoverage != 0.0 || r.pifCoverageTl0 != 0.0 ||
+        r.pifCoverageTl1 != 0.0) {
+        failure(out, "prefetch-off",
+                "prefetcher-off run reported nonzero PIF coverage");
+    }
+}
+
+void
+checkAccessInvariance(const TraceRunResult &a, const TraceRunResult &b,
+                      std::vector<CheckFailure> &out)
+{
+    const char *inv = "access-invariance";
+    requireEqual(out, inv, "accesses", a.accesses, b.accesses);
+    requireEqual(out, inv, "mispredicts", a.mispredicts, b.mispredicts);
+    requireEqual(out, inv, "wrongPathFetches", a.wrongPathFetches,
+                 b.wrongPathFetches);
+    requireEqual(out, inv, "interrupts", a.interrupts, b.interrupts);
+    requireEqual(out, inv, "retireDigest", a.retireDigest,
+                 b.retireDigest);
+    requireEqual(out, inv, "accessDigest", a.accessDigest,
+                 b.accessDigest);
+}
+
+void
+checkCoverageMonotone(double cov_small, double cov_large,
+                      std::uint64_t regions_small,
+                      std::uint64_t regions_large,
+                      std::vector<CheckFailure> &out)
+{
+    // Fig. 9 (right): coverage grows with history capacity. A strict
+    // comparison would be wrong — a larger buffer retains older
+    // streams that can occupy SABs less profitably at the margin — so
+    // a small tolerance absorbs that, while sign errors (coverage
+    // collapsing as the budget grows) are still caught.
+    constexpr double tolerance = 0.04;
+    if (cov_large + tolerance < cov_small) {
+        std::ostringstream os;
+        os << "coverage fell as history grew: " << cov_small << " @ "
+           << regions_small << " regions -> " << cov_large << " @ "
+           << regions_large << " regions";
+        failure(out, "coverage-monotone-history", os.str());
+    }
+}
+
+void
+checkLengthScaling(const TraceRunResult &once, const TraceRunResult &twice,
+                   std::vector<CheckFailure> &out)
+{
+    const char *inv = "length-scaling";
+    if (twice.instrs != 2 * once.instrs) {
+        failure(out, inv,
+                pair2("doubled run retired wrong count", "once",
+                      once.instrs, "twice", twice.instrs));
+    }
+    // The doubled run replays the shorter run as an exact prefix, so
+    // its counters are monotone extensions.
+    if (twice.accesses < once.accesses) {
+        failure(out, inv,
+                pair2("accesses shrank with a longer run", "once",
+                      once.accesses, "twice", twice.accesses));
+    }
+    if (twice.misses < once.misses) {
+        failure(out, inv,
+                pair2("misses shrank with a longer run", "once",
+                      once.misses, "twice", twice.misses));
+    }
+    if (once.accesses > 0) {
+        const double ratio = static_cast<double>(twice.accesses) /
+                             static_cast<double>(once.accesses);
+        if (!ratioIn(ratio, 1.3, 2.7)) {
+            std::ostringstream os;
+            os << "doubling the window scaled accesses by " << ratio
+               << " (expected ~2)";
+            failure(out, inv, os.str());
+        }
+    }
+}
+
+void
+checkDegreeMonotone(std::uint64_t issued_lo, std::uint64_t issued_hi,
+                    unsigned degree_lo, unsigned degree_hi,
+                    std::vector<CheckFailure> &out)
+{
+    // Queue back-pressure and pending-dedup can trim a few candidates
+    // at the margin; 1/8 slack keeps the direction check meaningful
+    // without false positives.
+    if (issued_hi + issued_lo / 8 + 16 < issued_lo) {
+        std::ostringstream os;
+        os << "degree " << degree_hi << " issued " << issued_hi
+           << " < degree " << degree_lo << " issued " << issued_lo;
+        failure(out, "nextline-degree-monotone", os.str());
+    }
+}
+
+} // namespace pifetch

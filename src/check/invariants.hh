@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The invariant catalog of the validation subsystem.
+ *
+ * Each evaluator is a pure function over engine result structs: it
+ * appends a CheckFailure (stable kebab-case invariant id + a detail
+ * string carrying the offending numbers) for every violated relation
+ * and touches nothing else. The checker (checker.hh) decides which
+ * evaluators apply to a scenario and what runs feed them; tests drive
+ * the evaluators directly with hand-built results to lock their
+ * semantics. docs/validation.md is the prose catalog.
+ *
+ * Differential invariants (cross-engine-*): the TraceEngine and the
+ * CycleEngine drive the identical executor -> front-end pipeline, so
+ * the retired-instruction stream, the fetch-access sequence and every
+ * timing-independent counter must match exactly; only hit/miss
+ * outcomes may differ, and only through prefetch fill timing.
+ *
+ * Metamorphic invariants: relations between runs of the same scenario
+ * under a controlled change (prefetcher off, doubled trace length,
+ * larger history budget per Fig. 9, doubled next-line degree) whose
+ * direction the paper documents.
+ */
+
+#ifndef PIFETCH_CHECK_INVARIANTS_HH
+#define PIFETCH_CHECK_INVARIANTS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/cycle_engine.hh"
+#include "sim/trace_engine.hh"
+
+namespace pifetch {
+
+/** One violated invariant. */
+struct CheckFailure
+{
+    /** Stable id, e.g. "cross-engine-retire-digest". */
+    std::string invariant;
+    /** Human-readable detail with the offending numbers. */
+    std::string detail;
+};
+
+/**
+ * Internal-consistency relations of one functional run
+ * ("trace-stat-sanity"): misses <= accesses, coverage ratios in
+ * [0, 1], and the prefetch pipeline relations with their
+ * measurement-window boundary slack — fills may exceed issued by at
+ * most one full prefetch queue (candidates enqueued before the
+ * boundary, drained after), and useful touches may exceed fills by at
+ * most @p l1_blocks (prefetched lines resident in the cache when the
+ * window opened).
+ */
+void checkTraceSanity(const TraceRunResult &r, const std::string &label,
+                      std::uint64_t l1_blocks,
+                      std::vector<CheckFailure> &out);
+
+/**
+ * Internal-consistency relations of one timed run
+ * ("cycle-stat-sanity"): userInstrs <= instrs, UIPC consistent with
+ * its components, misses <= accesses, demandMisses == frontend misses
+ * (a Perfect run instead requires zero demand misses and stalls).
+ */
+void checkCycleSanity(const CycleRunResult &r, bool perfect,
+                      std::vector<CheckFailure> &out);
+
+/**
+ * Differential oracle between the two engines on the same scenario
+ * ("cross-engine-*"): retire/access digests and every
+ * timing-independent counter must match; with @p fills_instant (no
+ * prefetcher, or the perfect cache) the miss counts must match too.
+ */
+void checkCrossEngine(const TraceRunResult &trace,
+                      const CycleRunResult &cycle, bool fills_instant,
+                      std::vector<CheckFailure> &out);
+
+/**
+ * Bit-identity of two functional runs that must not differ at all
+ * (thread-count invariance, determinism). Reported under
+ * @p invariant.
+ */
+void checkTraceIdentical(const TraceRunResult &a, const TraceRunResult &b,
+                         const std::string &invariant,
+                         std::vector<CheckFailure> &out);
+
+/**
+ * A run with prefetching disabled must report zero prefetch activity
+ * ("prefetch-off").
+ */
+void checkPrefetchOff(const TraceRunResult &r,
+                      std::vector<CheckFailure> &out);
+
+/**
+ * The fetch-access sequence is prefetcher-independent
+ * ("access-invariance"): two runs of the same scenario differing only
+ * in prefetcher must agree on accesses, mispredicts, wrong-path
+ * fetches, interrupts and both stream digests.
+ */
+void checkAccessInvariance(const TraceRunResult &a,
+                           const TraceRunResult &b,
+                           std::vector<CheckFailure> &out);
+
+/**
+ * Fig. 9 direction ("coverage-monotone-history"): growing the history
+ * buffer from @p regions_small to @p regions_large must not lose more
+ * than a small tolerance of PIF coverage.
+ */
+void checkCoverageMonotone(double cov_small, double cov_large,
+                           std::uint64_t regions_small,
+                           std::uint64_t regions_large,
+                           std::vector<CheckFailure> &out);
+
+/**
+ * Trace-length scaling ("length-scaling"): @p twice reruns @p once
+ * with a doubled measurement window, so its counters extend a strict
+ * prefix — accesses and misses must be monotone, and the access count
+ * roughly doubles.
+ */
+void checkLengthScaling(const TraceRunResult &once,
+                        const TraceRunResult &twice,
+                        std::vector<CheckFailure> &out);
+
+/**
+ * Next-line degree ablation ("nextline-degree-monotone"): doubling
+ * the degree must not issue fewer candidates (small slack absorbs
+ * queue back-pressure).
+ */
+void checkDegreeMonotone(std::uint64_t issued_lo, std::uint64_t issued_hi,
+                         unsigned degree_lo, unsigned degree_hi,
+                         std::vector<CheckFailure> &out);
+
+} // namespace pifetch
+
+#endif // PIFETCH_CHECK_INVARIANTS_HH

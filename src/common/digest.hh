@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Order-sensitive stream digests.
+ *
+ * The validation subsystem (src/check/) cross-checks the TraceEngine
+ * and CycleEngine by comparing the exact sequence of retired
+ * instructions and fetch accesses each engine produced. Storing the
+ * streams would cost gigabytes; instead the engines can fold every
+ * element into a 64-bit FNV-1a digest, and two digests are equal iff
+ * the streams (almost certainly) were. Digest collection is off by
+ * default so the replay hot path pays nothing beyond one predictable
+ * branch per instruction.
+ */
+
+#ifndef PIFETCH_COMMON_DIGEST_HH
+#define PIFETCH_COMMON_DIGEST_HH
+
+#include <cstdint>
+
+namespace pifetch {
+
+/**
+ * 64-bit FNV-1a accumulator over a sequence of 64-bit words.
+ *
+ * Order-sensitive by construction: add(a); add(b) and add(b); add(a)
+ * produce different values, which is exactly what a stream comparison
+ * needs.
+ */
+class StreamDigest
+{
+  public:
+    /** Fold one word into the digest. */
+    void
+    add(std::uint64_t word)
+    {
+        // Mix the word byte-wise through FNV-1a so single-bit
+        // differences in any byte avalanche through the state.
+        for (int b = 0; b < 64; b += 8) {
+            hash_ ^= (word >> b) & 0xff;
+            hash_ *= prime;
+        }
+    }
+
+    /** Current digest value. */
+    std::uint64_t value() const { return hash_; }
+
+    /** Restore the initial (empty-stream) state. */
+    void reset() { hash_ = offsetBasis; }
+
+  private:
+    static constexpr std::uint64_t offsetBasis = 0xcbf29ce484222325ull;
+    static constexpr std::uint64_t prime = 0x100000001b3ull;
+
+    std::uint64_t hash_ = offsetBasis;
+};
+
+/**
+ * The one word encoding of a retired instruction (RetiredInstr-shaped:
+ * pc, target, kind, trapLevel, taken). Both engines must fold the
+ * exact same words or the cross-engine digest oracle is meaningless —
+ * which is why this lives here, once, instead of in each replay loop.
+ */
+template <typename Instr>
+inline void
+digestRetire(StreamDigest &digest, const Instr &instr)
+{
+    digest.add(instr.pc);
+    digest.add(instr.target);
+    digest.add((static_cast<std::uint64_t>(instr.kind) << 16) |
+               (static_cast<std::uint64_t>(instr.trapLevel) << 8) |
+               (instr.taken ? 1 : 0));
+}
+
+/**
+ * The one word encoding of a fetch access (FetchAccess-shaped: block,
+ * trapLevel, correctPath). hit/wasPrefetched are deliberately
+ * excluded — fill timing legitimately differs across engines; the
+ * fetch *sequence* must not.
+ */
+template <typename Access>
+inline void
+digestAccess(StreamDigest &digest, const Access &access)
+{
+    digest.add((access.block << 8) |
+               (static_cast<std::uint64_t>(access.trapLevel) << 1) |
+               (access.correctPath ? 1 : 0));
+}
+
+} // namespace pifetch
+
+#endif // PIFETCH_COMMON_DIGEST_HH

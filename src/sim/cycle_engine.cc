@@ -57,6 +57,12 @@ CycleEngine::advanceWith(P &prefetcher, InstCount n, bool measuring)
         events_.clear();
         const bool tagged = frontend_.step(instr, events_);
 
+        if (digests_) {
+            digestRetire(retireDigest_, instr);
+            for (const FetchAccess &ev : events_)
+                digestAccess(accessDigest_, ev);
+        }
+
         const bool perfect = kind_ == PrefetcherKind::Perfect;
 
         for (const FetchAccess &ev : events_) {
@@ -140,6 +146,11 @@ CycleEngine::run(InstCount warmup, InstCount measure)
     prefetchFills_ = 0;
     const std::uint64_t l2h0 = hierarchy_.l2Hits();
     const std::uint64_t l2m0 = hierarchy_.l2Misses();
+    const std::uint64_t acc0 = frontend_.correctPathFetches();
+    const std::uint64_t miss0 = frontend_.correctPathMisses();
+    const std::uint64_t wrong0 = frontend_.wrongPathFetches();
+    const std::uint64_t misp0 = frontend_.mispredicts();
+    const std::uint64_t intr0 = exec_.interrupts();
 
     advance(measure, true);
 
@@ -155,6 +166,13 @@ CycleEngine::run(InstCount warmup, InstCount measure)
     res.prefetchFills = prefetchFills_;
     res.l2Hits = hierarchy_.l2Hits() - l2h0;
     res.l2Misses = hierarchy_.l2Misses() - l2m0;
+    res.accesses = frontend_.correctPathFetches() - acc0;
+    res.misses = frontend_.correctPathMisses() - miss0;
+    res.wrongPathFetches = frontend_.wrongPathFetches() - wrong0;
+    res.mispredicts = frontend_.mispredicts() - misp0;
+    res.interrupts = exec_.interrupts() - intr0;
+    res.retireDigest = retireDigest();
+    res.accessDigest = accessDigest();
     return res;
 }
 

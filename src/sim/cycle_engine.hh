@@ -20,6 +20,7 @@
 #include "cache/hierarchy.hh"
 #include "cache/mshr.hh"
 #include "common/config.hh"
+#include "common/digest.hh"
 #include "core/cycle_core.hh"
 #include "core/frontend.hh"
 #include "sim/system_config.hh"
@@ -42,6 +43,23 @@ struct CycleRunResult
     std::uint64_t prefetchFills = 0;
     std::uint64_t l2Hits = 0;
     std::uint64_t l2Misses = 0;
+    /**
+     * Front-end/executor counters over the measurement window,
+     * mirroring TraceRunResult so the differential oracle
+     * (src/check/) can compare the two engines stat for stat. The
+     * fetch sequence is timing-independent by construction, so
+     * accesses/mispredicts/wrongPathFetches/interrupts must match the
+     * functional engine exactly; misses may differ only through
+     * prefetch fill timing.
+     */
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;          //!< correct-path L1-I misses
+    std::uint64_t wrongPathFetches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t interrupts = 0;
+    /** Whole-run stream digests; zero unless enableDigests() was set. */
+    std::uint64_t retireDigest = 0;
+    std::uint64_t accessDigest = 0;
 };
 
 /**
@@ -60,6 +78,30 @@ class CycleEngine
     TimingModel &timing() { return timing_; }
     Cache &l1i() { return l1i_; }
     MemoryHierarchy &hierarchy() { return hierarchy_; }
+    Frontend &frontend() { return frontend_; }
+    Executor &executor() { return exec_; }
+
+    /**
+     * Start folding the retired-instruction and fetch-access streams
+     * into digests (same scheme and encoding as
+     * TraceEngine::enableDigests, so the two engines' digests are
+     * directly comparable). Off by default — no hot-path overhead.
+     */
+    void enableDigests() { digests_ = true; }
+
+    /** Retired-instruction stream digest (0 until enabled). */
+    std::uint64_t
+    retireDigest() const
+    {
+        return digests_ ? retireDigest_.value() : 0;
+    }
+
+    /** Fetch-access stream digest (0 until enabled). */
+    std::uint64_t
+    accessDigest() const
+    {
+        return digests_ ? accessDigest_.value() : 0;
+    }
 
   private:
     /**
@@ -95,6 +137,11 @@ class CycleEngine
     std::uint64_t latePrefetches_ = 0;
     std::uint64_t prefetchFills_ = 0;
     std::uint64_t lastMispredicts_ = 0;
+
+    /** Stream digests (src/check/ differential oracle); off by default. */
+    bool digests_ = false;
+    StreamDigest retireDigest_;
+    StreamDigest accessDigest_;
 };
 
 } // namespace pifetch

@@ -38,6 +38,12 @@ TraceEngine::advanceWith(P &prefetcher, InstCount n)
         events_.clear();
         const bool tagged = frontend_.step(instr, events_);
 
+        if (digests_) {
+            digestRetire(retireDigest_, instr);
+            for (const FetchAccess &ev : events_)
+                digestAccess(accessDigest_, ev);
+        }
+
         for (const FetchAccess &ev : events_) {
             FetchInfo info;
             info.block = ev.block;
@@ -86,12 +92,17 @@ TraceEngine::run(InstCount warmup, InstCount measure)
     const std::uint64_t intr0 = exec_.interrupts();
     const std::uint64_t fills0 = l1i_.prefetchFills();
     const std::uint64_t useful0 = l1i_.usefulPrefetches();
+    const InstCount retired0 = exec_.retired();
     prefetcher_->resetStats();
 
     advance(measure);
 
     TraceRunResult res;
-    res.instrs = measure;
+    // Measured from the executor, not echoed from the request, so the
+    // length-scaling and cross-engine oracles (src/check/) compare a
+    // real counter: a replay loop that silently ran short would show
+    // up here.
+    res.instrs = exec_.retired() - retired0;
     res.accesses = frontend_.correctPathFetches() - acc0;
     res.misses = frontend_.correctPathMisses() - miss0;
     res.wrongPathFetches = frontend_.wrongPathFetches() - wrong0;
@@ -106,6 +117,8 @@ TraceEngine::run(InstCount warmup, InstCount measure)
         res.pifCoverageTl1 = pif->coverage(1);
         res.pifCoverage = pif->coverage();
     }
+    res.retireDigest = retireDigest();
+    res.accessDigest = accessDigest();
     return res;
 }
 

@@ -15,6 +15,7 @@
 
 #include "cache/cache.hh"
 #include "common/config.hh"
+#include "common/digest.hh"
 #include "core/frontend.hh"
 #include "prefetch/prefetcher.hh"
 #include "sim/system_config.hh"
@@ -43,6 +44,16 @@ struct TraceRunResult
     double pifCoverageTl0 = 0.0;
     double pifCoverageTl1 = 0.0;
     double pifCoverage = 0.0;
+    /**
+     * Whole-run stream digests (warmup + measurement); zero unless the
+     * engine ran with enableDigests(). The retire digest folds every
+     * retired instruction, the access digest every fetch access the
+     * front-end performed (block, path, trap level — not hit/miss,
+     * which legitimately differs across engines with different fill
+     * timing). Used by the differential oracle (src/check/).
+     */
+    std::uint64_t retireDigest = 0;
+    std::uint64_t accessDigest = 0;
 
     /** Correct-path miss ratio over the measurement window. */
     double
@@ -94,6 +105,29 @@ class TraceEngine
     Prefetcher &prefetcher() { return *prefetcher_; }
     Executor &executor() { return exec_; }
 
+    /**
+     * Start folding the retired-instruction and fetch-access streams
+     * into digests (see TraceRunResult). Off by default: the replay
+     * hot path then pays only one predictable branch per instruction,
+     * so the perf gate sees no overhead. Enable before the first
+     * advance()/run() so both engines digest identical windows.
+     */
+    void enableDigests() { digests_ = true; }
+
+    /** Retired-instruction stream digest (0 until enabled). */
+    std::uint64_t
+    retireDigest() const
+    {
+        return digests_ ? retireDigest_.value() : 0;
+    }
+
+    /** Fetch-access stream digest (0 until enabled). */
+    std::uint64_t
+    accessDigest() const
+    {
+        return digests_ ? accessDigest_.value() : 0;
+    }
+
   private:
     /** The replay loop, monomorphized over the prefetcher type. */
     template <typename P>
@@ -107,6 +141,11 @@ class TraceEngine
 
     std::vector<FetchAccess> events_;
     std::vector<Addr> drain_;
+
+    /** Stream digests (src/check/ differential oracle); off by default. */
+    bool digests_ = false;
+    StreamDigest retireDigest_;
+    StreamDigest accessDigest_;
 };
 
 } // namespace pifetch

@@ -199,17 +199,110 @@ buildFunctionBody(const WorkloadParams &p, double mean_blocks,
 
 } // namespace
 
+std::optional<std::string>
+validateWorkloadParams(const WorkloadParams &p)
+{
+    const auto bad = [&](const std::string &what) {
+        return "workload '" + p.name + "': " + what;
+    };
+    const auto probability = [](double v) {
+        return std::isfinite(v) && v >= 0.0 && v <= 1.0;
+    };
+
+    // Structural minima (these have always been fatal in build()).
+    if (p.appFunctions < p.transactions + 2)
+        return bad("appFunctions must exceed transactions + 2");
+    if (p.handlers == 0)
+        return bad("need at least one handler");
+    if (p.libFunctions < 2)
+        return bad("need at least two library functions");
+    if (p.transactions == 0)
+        return bad("need at least one transaction type");
+
+    // Structural maxima: generation time and memory scale with these,
+    // so a corrupt or hostile parameter point (e.g. a hand-edited
+    // repro JSON with appFunctions in the billions) must fail here
+    // instead of grinding build() into an OOM. The caps are two
+    // orders of magnitude above the largest preset.
+    if (p.appFunctions > 200'000)
+        return bad("appFunctions must be <= 200000");
+    if (p.libFunctions > 100'000)
+        return bad("libFunctions must be <= 100000");
+    if (p.handlers > 4'096)
+        return bad("handlers must be <= 4096");
+    if (p.transactions > 4'096)
+        return bad("transactions must be <= 4096");
+    if (p.maxFnBlocks > 1'024)
+        return bad("maxFnBlocks must be <= 1024");
+
+    // Sizing means: geometric draws need positive finite means, and
+    // the function partitioner assumes at least one block.
+    if (!std::isfinite(p.meanFnBlocks) || p.meanFnBlocks < 1.0)
+        return bad("meanFnBlocks must be >= 1");
+    if (p.maxFnBlocks < 1)
+        return bad("maxFnBlocks must be >= 1");
+    if (p.meanFnBlocks > static_cast<double>(p.maxFnBlocks))
+        return bad("meanFnBlocks must not exceed maxFnBlocks");
+    if (!std::isfinite(p.meanHandlerBlocks) ||
+        p.meanHandlerBlocks < 1.0 || p.meanHandlerBlocks > 1024.0) {
+        // Bounded like the other geometric-draw means: Rng::geometric
+        // iterates O(mean) times, so an unbounded mean is a hang.
+        return bad("meanHandlerBlocks must be in [1, 1024]");
+    }
+    if (!std::isfinite(p.meanBasicBlockInstrs) ||
+        p.meanBasicBlockInstrs < 1.0 || p.meanBasicBlockInstrs > 1024.0) {
+        return bad("meanBasicBlockInstrs must be in [1, 1024]");
+    }
+
+    // Densities are per-block probabilities and must co-exist: the
+    // terminator draw compares a single uniform sample against their
+    // partial sums.
+    if (!probability(p.callDensity))
+        return bad("callDensity must be a probability");
+    if (!probability(p.condDensity))
+        return bad("condDensity must be a probability");
+    if (!probability(p.jumpDensity))
+        return bad("jumpDensity must be a probability");
+    if (p.callDensity + p.condDensity + p.jumpDensity > 1.0)
+        return bad("callDensity + condDensity + jumpDensity must be "
+                   "<= 1");
+    if (!probability(p.biasedFraction))
+        return bad("biasedFraction must be a probability");
+    if (!probability(p.dataDepLo) || !probability(p.dataDepHi) ||
+        p.dataDepLo > p.dataDepHi) {
+        return bad("dataDep bounds must satisfy 0 <= lo <= hi <= 1");
+    }
+
+    if (!std::isfinite(p.loopsPerFunction) || p.loopsPerFunction < 0.0 ||
+        p.loopsPerFunction > 8.0) {
+        return bad("loopsPerFunction must be in [0, 8]");
+    }
+    if (!std::isfinite(p.meanLoopIter) || p.meanLoopIter < 1.0 ||
+        p.meanLoopIter > 1024.0) {
+        return bad("meanLoopIter must be in [1, 1024]");
+    }
+    if (!std::isfinite(p.meanAppCalls) || p.meanAppCalls < 0.0 ||
+        p.meanAppCalls > 16.0) {
+        return bad("meanAppCalls must be in [0, 16]");
+    }
+    if (!std::isfinite(p.zipfS) || p.zipfS < 0.0 || p.zipfS > 4.0)
+        return bad("zipfS must be in [0, 4]");
+    if (p.callLayers == 0 || p.callLayers > 64)
+        return bad("callLayers must be in [1, 64]");
+    if (p.maxCallDepth == 0 || p.maxCallDepth > 256)
+        return bad("maxCallDepth must be in [1, 256]");
+    if (!std::isfinite(p.interruptRate) || p.interruptRate < 0.0 ||
+        p.interruptRate > 0.01) {
+        return bad("interruptRate must be in [0, 0.01]");
+    }
+    return std::nullopt;
+}
+
 Program
 WorkloadGenerator::build(const WorkloadParams &p)
 {
-    if (p.appFunctions < p.transactions + 2)
-        fatalError("workload '" + p.name +
-                   "': appFunctions must exceed transactions + 2");
-    if (p.handlers == 0)
-        fatalError("workload '" + p.name + "': need at least one handler");
-    if (p.libFunctions < 2)
-        fatalError("workload '" + p.name +
-                   "': need at least two library functions");
+    if (const auto err = validateWorkloadParams(p))
+        fatalError(*err);
 
     Rng rng(p.seed);
     Program prog;

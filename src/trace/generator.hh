@@ -17,6 +17,7 @@
 #define PIFETCH_TRACE_GENERATOR_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "trace/program.hh"
@@ -101,6 +102,24 @@ struct WorkloadParams
     /** Call depth at which further calls are elided. */
     unsigned maxCallDepth = 24;
 };
+
+/**
+ * Validate a WorkloadParams point against the generator's parameter
+ * space: every probability in [0, 1], every mean/exponent finite and
+ * inside the range the synthesis algorithms are defined over, and the
+ * structural minima build() has always enforced (enough application
+ * functions for the transaction mix, at least one handler, at least
+ * two library functions).
+ *
+ * This is the single source of truth for "is this point simulable":
+ * build() fails fast on the first violation, and the scenario fuzzer
+ * (src/check/) only emits points this function accepts.
+ *
+ * @return nullopt when valid; otherwise a human-readable description
+ *         of the first violated bound.
+ */
+std::optional<std::string>
+validateWorkloadParams(const WorkloadParams &params);
 
 /**
  * Builds a Program from WorkloadParams. Stateless; all randomness comes

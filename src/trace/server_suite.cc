@@ -68,6 +68,9 @@ workloadKey(ServerWorkload w)
 std::optional<ServerWorkload>
 workloadFromName(const std::string &s)
 {
+    // Whole-token, exact matching only: a stray suffix or surrounding
+    // whitespace ("db2x", "qry2 ") must fail the parse rather than
+    // fuzzy-match a workload (test_workloads.cc locks this).
     std::string key = s;
     std::transform(key.begin(), key.end(), key.begin(),
                    [](unsigned char c) {

@@ -48,7 +48,10 @@ std::string workloadGroup(ServerWorkload w);
 /**
  * Parse a workload from a CLI token: a short key ("db2", "oracle",
  * "qry2", "qry17", "apache", "zeus", case-insensitive) or an index
- * "0".."5" in presentation order. Returns nullopt on anything else.
+ * "0".."5" in presentation order. Matching is exact — trailing or
+ * leading garbage ("db2x", "qry2 ", " zeus", "06") is rejected, so a
+ * script typo can never silently select a different workload.
+ * Returns nullopt on anything else.
  */
 std::optional<ServerWorkload> workloadFromName(const std::string &s);
 

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Differential regression suite over the six server presets.
+ *
+ * The fuzz harness (`pifetch check`) exercises the cross-engine and
+ * thread-invariance oracles on randomized scenarios; this suite pins
+ * the same oracles on the fixed presets so they run in every plain
+ * CTest invocation, with no fuzzing involved. Any drift between
+ * TraceEngine and CycleEngine on retired-instruction streams, fetch
+ * sequences or miss counts — or any thread-count dependence of the
+ * multicore runners at 1 vs 4 workers — fails here first.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "check/invariants.hh"
+#include "sim/multicore.hh"
+#include "sim/workloads.hh"
+
+namespace pifetch {
+namespace {
+
+constexpr InstCount kWarmup = 60'000;
+constexpr InstCount kMeasure = 120'000;
+
+class PresetDifferential
+    : public ::testing::TestWithParam<ServerWorkload>
+{
+};
+
+TEST_P(PresetDifferential, EnginesAgreeOnStreamsAndCounters)
+{
+    const ServerWorkload w = GetParam();
+    const SystemConfig cfg{};
+    const Program prog = buildWorkloadProgram(w);
+
+    for (const PrefetcherKind kind :
+         {PrefetcherKind::None, PrefetcherKind::Pif}) {
+        TraceEngine trace_engine(cfg, prog, executorConfigFor(w),
+                                 makePrefetcher(kind, cfg));
+        trace_engine.enableDigests();
+        const TraceRunResult trace =
+            trace_engine.run(kWarmup, kMeasure);
+
+        CycleEngine cycle_engine(cfg, prog, executorConfigFor(w), kind);
+        cycle_engine.enableDigests();
+        const CycleRunResult cycle =
+            cycle_engine.run(kWarmup, kMeasure);
+
+        // Digest collection must actually have happened — an
+        // accidental 0 == 0 comparison would verify nothing.
+        EXPECT_NE(trace.retireDigest, 0u);
+        EXPECT_NE(trace.accessDigest, 0u);
+
+        std::vector<CheckFailure> failures;
+        checkTraceSanity(trace, workloadKey(w),
+                         cfg.l1i.sizeBytes / blockBytes, failures);
+        checkCycleSanity(cycle, false, failures);
+        checkCrossEngine(trace, cycle,
+                         kind == PrefetcherKind::None, failures);
+        for (const CheckFailure &f : failures) {
+            ADD_FAILURE() << workloadKey(w) << "/"
+                          << prefetcherName(kind) << ": "
+                          << f.invariant << ": " << f.detail;
+        }
+    }
+}
+
+TEST_P(PresetDifferential, MulticoreTraceIsThreadCountInvariant)
+{
+    const ServerWorkload w = GetParam();
+    SystemConfig serial;
+    serial.threads = 1;
+    SystemConfig pooled;
+    pooled.threads = 4;
+
+    const MulticoreTraceResult a = runMulticoreTrace(
+        w, PrefetcherKind::Pif, 4, kWarmup / 2, kMeasure / 2, serial);
+    const MulticoreTraceResult b = runMulticoreTrace(
+        w, PrefetcherKind::Pif, 4, kWarmup / 2, kMeasure / 2, pooled);
+
+    ASSERT_EQ(a.perCore.size(), b.perCore.size());
+    std::vector<CheckFailure> failures;
+    for (std::size_t core = 0; core < a.perCore.size(); ++core)
+        checkTraceIdentical(a.perCore[core], b.perCore[core],
+                            "thread-invariance", failures);
+    for (const CheckFailure &f : failures)
+        ADD_FAILURE() << workloadKey(w) << ": " << f.detail;
+}
+
+TEST_P(PresetDifferential, MulticoreCycleIsThreadCountInvariant)
+{
+    const ServerWorkload w = GetParam();
+    SystemConfig serial;
+    serial.threads = 1;
+    SystemConfig pooled;
+    pooled.threads = 4;
+
+    const MulticoreCycleResult a = runMulticoreCycle(
+        w, PrefetcherKind::Pif, 2, kWarmup / 2, kMeasure / 2, serial);
+    const MulticoreCycleResult b = runMulticoreCycle(
+        w, PrefetcherKind::Pif, 2, kWarmup / 2, kMeasure / 2, pooled);
+
+    ASSERT_EQ(a.perCore.size(), b.perCore.size());
+    for (std::size_t core = 0; core < a.perCore.size(); ++core) {
+        EXPECT_EQ(a.perCore[core].cycles, b.perCore[core].cycles)
+            << workloadKey(w) << " core " << core;
+        EXPECT_EQ(a.perCore[core].demandMisses,
+                  b.perCore[core].demandMisses)
+            << workloadKey(w) << " core " << core;
+        EXPECT_DOUBLE_EQ(a.perCore[core].uipc, b.perCore[core].uipc)
+            << workloadKey(w) << " core " << core;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSix, PresetDifferential,
+    ::testing::ValuesIn(allServerWorkloads()),
+    [](const ::testing::TestParamInfo<ServerWorkload> &info) {
+        std::string n = workloadGroup(info.param) +
+                        workloadName(info.param);
+        n.erase(std::remove(n.begin(), n.end(), ' '), n.end());
+        return n;
+    });
+
+} // namespace
+} // namespace pifetch

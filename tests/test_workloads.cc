@@ -123,5 +123,112 @@ TEST(Workloads, ExecutorConfigDerivesFromParams)
     EXPECT_EQ(c.maxCallDepth, p.maxCallDepth);
 }
 
+TEST(Workloads, NameParserAcceptsExactKeysAndIndices)
+{
+    for (ServerWorkload w : allServerWorkloads()) {
+        const auto parsed = workloadFromName(workloadKey(w));
+        ASSERT_TRUE(parsed.has_value()) << workloadKey(w);
+        EXPECT_EQ(*parsed, w);
+    }
+    // Case-insensitive keys and presentation-order indices.
+    ASSERT_TRUE(workloadFromName("DB2").has_value());
+    EXPECT_EQ(*workloadFromName("DB2"), ServerWorkload::OltpDb2);
+    ASSERT_TRUE(workloadFromName("Zeus").has_value());
+    EXPECT_EQ(*workloadFromName("Zeus"), ServerWorkload::WebZeus);
+    for (char idx = '0'; idx <= '5'; ++idx) {
+        const auto parsed = workloadFromName(std::string(1, idx));
+        ASSERT_TRUE(parsed.has_value()) << idx;
+        EXPECT_EQ(*parsed, allServerWorkloads()[idx - '0']);
+    }
+}
+
+TEST(Workloads, NameParserRejectsTrailingGarbage)
+{
+    // A script typo must fail loudly, never fuzzy-match a workload.
+    const char *rejected[] = {
+        "db2x",   "qry2 ",  " db2",  "zeus\t", "qry2\n", "db",
+        "qry",    "zeus0",  "0x",    "06",     "6",      "-1",
+        "",       " ",      "db2 x", "oracle!"};
+    for (const char *name : rejected) {
+        EXPECT_FALSE(workloadFromName(name).has_value())
+            << "'" << name << "' parsed unexpectedly";
+    }
+}
+
+TEST(Workloads, AllPresetsValidate)
+{
+    for (ServerWorkload w : allServerWorkloads()) {
+        const auto err = validateWorkloadParams(workloadParams(w));
+        EXPECT_FALSE(err.has_value())
+            << workloadName(w) << ": " << err.value_or("");
+    }
+    // Defaults are a valid point too.
+    EXPECT_FALSE(validateWorkloadParams(WorkloadParams{}).has_value());
+}
+
+TEST(Workloads, ValidateRejectsOutOfRangeParams)
+{
+    const WorkloadParams good = workloadParams(ServerWorkload::OltpDb2);
+
+    WorkloadParams p = good;
+    p.appFunctions = p.transactions + 1;
+    EXPECT_TRUE(validateWorkloadParams(p).has_value());
+
+    p = good;
+    p.handlers = 0;
+    EXPECT_TRUE(validateWorkloadParams(p).has_value());
+
+    p = good;
+    p.libFunctions = 1;
+    EXPECT_TRUE(validateWorkloadParams(p).has_value());
+
+    p = good;
+    p.condDensity = 1.2;
+    EXPECT_TRUE(validateWorkloadParams(p).has_value());
+
+    p = good;
+    p.callDensity = 0.5;
+    p.condDensity = 0.4;
+    p.jumpDensity = 0.2;  // densities sum past 1
+    EXPECT_TRUE(validateWorkloadParams(p).has_value());
+
+    p = good;
+    p.dataDepLo = 0.8;
+    p.dataDepHi = 0.3;  // inverted interval
+    EXPECT_TRUE(validateWorkloadParams(p).has_value());
+
+    p = good;
+    p.meanFnBlocks = 0.5;
+    EXPECT_TRUE(validateWorkloadParams(p).has_value());
+
+    p = good;
+    p.meanHandlerBlocks = 1.0e12;  // would hang Rng::geometric
+    EXPECT_TRUE(validateWorkloadParams(p).has_value());
+
+    p = good;
+    p.appFunctions = 3'000'000'000u;  // would OOM the generator
+    EXPECT_TRUE(validateWorkloadParams(p).has_value());
+
+    p = good;
+    p.meanFnBlocks = static_cast<double>(p.maxFnBlocks) + 1.0;
+    EXPECT_TRUE(validateWorkloadParams(p).has_value());
+
+    p = good;
+    p.zipfS = -0.1;
+    EXPECT_TRUE(validateWorkloadParams(p).has_value());
+
+    p = good;
+    p.interruptRate = 0.5;
+    EXPECT_TRUE(validateWorkloadParams(p).has_value());
+
+    p = good;
+    p.callLayers = 0;
+    EXPECT_TRUE(validateWorkloadParams(p).has_value());
+
+    p = good;
+    p.maxCallDepth = 0;
+    EXPECT_TRUE(validateWorkloadParams(p).has_value());
+}
+
 } // namespace
 } // namespace pifetch
