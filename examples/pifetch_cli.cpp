@@ -23,7 +23,11 @@
  *
  * Options (run and sweep):
  *   --workload W       restrict to workload W (repeatable);
- *                      db2|oracle|qry2|qry17|apache|zeus or 0..5
+ *                      a server preset (db2|oracle|qry2|qry17|
+ *                      apache|zeus or 0..5) or a workload-zoo spec
+ *                      name (see `pifetch list`)
+ *   --workload-file F  load a JSON workload spec file (repeatable);
+ *                      see docs/workloads.md for the schema
  *   --json FILE|-      write the result document as JSON
  *                      ("-" = stdout, which suppresses the report)
  *   --csv FILE|-       write the result tables as CSV
@@ -77,8 +81,11 @@ usage(std::FILE *out)
         "  help                      this message\n"
         "\n"
         "run/sweep options:\n"
-        "  --workload W   db2|oracle|qry2|qry17|apache|zeus or 0..5\n"
+        "  --workload W   a server preset (db2|oracle|qry2|qry17|\n"
+        "                 apache|zeus or 0..5) or a zoo spec name\n"
         "                 (repeatable; default: the experiment's set)\n"
+        "  --workload-file F  load a JSON workload spec (repeatable;\n"
+        "                 schema in docs/workloads.md)\n"
         "  --json FILE|-  write the JSON document (- = stdout,\n"
         "                 suppressing the human report)\n"
         "  --csv FILE|-   write the tables as CSV\n"
@@ -110,6 +117,8 @@ usage(std::FILE *out)
         "  --no-shrink    keep failing scenarios unshrunk\n"
         "  --inject-fault K  deliberate break for self-tests\n"
         "                 (degree-miscount | coverage-drop)\n"
+        "  --workload-file F  run every fuzzed scenario over this\n"
+        "                 JSON workload spec\n"
         "  --json/--quiet as above\n",
         out);
     return out == stderr ? 2 : 0;
@@ -131,6 +140,62 @@ bool
 parseU64Arg(const char *s, std::uint64_t &out)
 {
     return parseU64Value(s, out);  // registry's strict parser
+}
+
+/** Every accepted --workload name: presets first, then the zoo. */
+std::string
+knownWorkloadNames()
+{
+    std::string out;
+    for (ServerWorkload w : allServerWorkloads()) {
+        if (!out.empty())
+            out += ", ";
+        out += workloadKey(w);
+    }
+    for (const WorkloadZooEntry &e : workloadZoo()) {
+        if (!out.empty())
+            out += ", ";
+        out += e.key;
+    }
+    return out;
+}
+
+/**
+ * Resolve a --workload name: server preset, else zoo spec key.
+ * Prints its own diagnostic (with the full list of valid names for
+ * the unknown-name case) and returns nullopt on failure.
+ */
+std::optional<WorkloadRef>
+resolveWorkload(const char *name, const char *prog)
+{
+    if (const std::optional<ServerWorkload> w = workloadFromName(name))
+        return WorkloadRef(*w);
+    if (const auto entry = findZooEntry(name)) {
+        std::string err;
+        auto spec = loadWorkloadSpecFile(entry->path, &err);
+        if (!spec) {
+            std::fprintf(stderr, "%s: %s\n", prog, err.c_str());
+            return std::nullopt;
+        }
+        return workloadRefFromSpec(std::move(*spec));
+    }
+    std::fprintf(stderr,
+                 "%s: unknown workload '%s' (known: %s)\n", prog, name,
+                 knownWorkloadNames().c_str());
+    return std::nullopt;
+}
+
+/** Load a --workload-file spec (diagnostic printed on failure). */
+std::optional<WorkloadRef>
+loadWorkloadFile(const char *path, const char *prog)
+{
+    std::string err;
+    auto spec = loadWorkloadSpecFile(path, &err);
+    if (!spec) {
+        std::fprintf(stderr, "%s: %s\n", prog, err.c_str());
+        return std::nullopt;
+    }
+    return workloadRefFromSpec(std::move(*spec));
 }
 
 /** Parse run/sweep options from argv[from..). Returns false on error. */
@@ -167,12 +232,17 @@ parseOptions(int argc, char **argv, int from, bool allow_param,
             const char *v = next();
             if (!v)
                 return false;
-            const std::optional<ServerWorkload> w = workloadFromName(v);
-            if (!w) {
-                std::fprintf(stderr, "pifetch: unknown workload '%s'\n",
-                             v);
+            const auto w = resolveWorkload(v, "pifetch");
+            if (!w)
                 return false;
-            }
+            opts.run.workloads.push_back(*w);
+        } else if (arg == "--workload-file") {
+            const char *v = next();
+            if (!v)
+                return false;
+            const auto w = loadWorkloadFile(v, "pifetch");
+            if (!w)
+                return false;
             opts.run.workloads.push_back(*w);
         } else if (arg == "--json") {
             const char *v = next();
@@ -319,6 +389,19 @@ cmdList()
     for (const ExperimentSpec &spec : experimentRegistry())
         std::printf("%-16s %s\n", spec.name.c_str(),
                     spec.description.c_str());
+    std::printf("\nworkloads (--workload):\n");
+    for (ServerWorkload w : allServerWorkloads())
+        std::printf("  %-22s %s (%s preset)\n", workloadKey(w).c_str(),
+                    workloadName(w).c_str(), workloadGroup(w).c_str());
+    const std::vector<WorkloadZooEntry> zoo = workloadZoo();
+    for (const WorkloadZooEntry &e : zoo)
+        std::printf("  %-22s %s%s%s\n", e.key.c_str(), e.title.c_str(),
+                    e.description.empty() ? "" : " -- ",
+                    e.description.c_str());
+    if (zoo.empty()) {
+        std::printf("  (no zoo specs found under %s)\n",
+                    workloadZooDir().c_str());
+    }
     std::printf("\nconfig override keys (--set / --param):\n ");
     for (const std::string &k : configOverrideKeys())
         std::printf(" %s", k.c_str());
@@ -493,17 +576,17 @@ cmdGolden(int argc, char **argv)
 {
     if (argc >= 3 && std::strcmp(argv[2], "--list") == 0) {
         for (const GoldenEntry &e : goldenSuite())
-            std::printf("%s\n", e.experiment.c_str());
+            std::printf("%s\n", goldenFixtureName(e).c_str());
         return 0;
     }
     if (argc < 3) {
         std::fprintf(stderr,
-                     "pifetch golden: expected --list or an "
-                     "experiment name\n");
+                     "pifetch golden: expected --list or a "
+                     "fixture name\n");
         return 2;
     }
     for (const GoldenEntry &e : goldenSuite()) {
-        if (e.experiment == argv[2]) {
+        if (goldenFixtureName(e) == argv[2]) {
             std::fputs(goldenJson(e).c_str(), stdout);
             return 0;
         }
@@ -737,6 +820,21 @@ cmdCheck(int argc, char **argv)
                 return 2;
             }
             opts.inject = *fault;
+        } else if (arg == "--workload-file") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            std::string err;
+            auto spec = loadWorkloadSpecFile(v, &err);
+            if (!spec) {
+                std::fprintf(stderr, "pifetch check: %s\n",
+                             err.c_str());
+                return 2;
+            }
+            opts.spec =
+                std::make_shared<const WorkloadSpec>(std::move(*spec));
+            // Replay runs the repro's own recorded workload.
+            fuzzOnlyOption = arg;
         } else if (arg == "--no-shrink") {
             opts.shrink = false;
             fuzzOnlyOption = arg;

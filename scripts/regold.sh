@@ -7,10 +7,12 @@
 # with the change that moved the numbers and explain the delta in the
 # commit message.
 #
-# The fixtures are canonical JSON from `pifetch golden <experiment>`:
+# The fixtures are canonical JSON from `pifetch golden <fixture>`:
 # pinned small budgets, pinned metadata, no git/thread/host fields.
 # Results are bit-identical at any PIFETCH_THREADS, so the regold
-# output does not depend on this machine's core count.
+# output does not depend on this machine's core count. The zoo-*
+# fixtures additionally load their workload spec from workloads/
+# (see docs/workloads.md), so spec edits there require a regold too.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

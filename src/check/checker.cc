@@ -65,6 +65,18 @@ coreParams(const WorkloadParams &base, unsigned core)
 }
 
 /**
+ * The scenario's lowered spec, or nullopt in plain-params mode.
+ * Callers run after validateScenario, so lowering cannot panic.
+ */
+std::optional<LoweredWorkload>
+loweredOf(const Scenario &sc)
+{
+    if (!sc.spec)
+        return std::nullopt;
+    return lowerWorkloadSpec(*sc.spec);
+}
+
+/**
  * The multicore differential: @p cores independent engines fanned
  * over @p threads lanes (the exact construction pattern of
  * runMulticoreTrace, but over arbitrary fuzzed params).
@@ -72,14 +84,23 @@ coreParams(const WorkloadParams &base, unsigned core)
 std::vector<TraceRunResult>
 multicoreRun(const Scenario &sc, unsigned threads)
 {
+    const std::optional<LoweredWorkload> lw = loweredOf(sc);
     std::vector<TraceRunResult> out(sc.cores);
     parallelFor(threads, sc.cores, [&](std::uint64_t core) {
-        const WorkloadParams params =
-            coreParams(sc.params, static_cast<unsigned>(core));
-        const Program prog = WorkloadGenerator::build(params);
+        Program prog;
+        ExecutorConfig exec;
+        if (lw) {
+            prog = lw->build(core);
+            exec = executorConfigFor(*lw, core, core);
+        } else {
+            const WorkloadParams params =
+                coreParams(sc.params, static_cast<unsigned>(core));
+            prog = WorkloadGenerator::build(params);
+            exec = executorConfigFor(params, core);
+        }
         SystemConfig cfg = sc.cfg;
         cfg.seed = sc.cfg.seed + core * 7919;
-        TraceEngine engine(cfg, prog, executorConfigFor(params, core),
+        TraceEngine engine(cfg, prog, exec,
                            makePrefetcher(sc.kind, cfg));
         engine.enableDigests();
         out[core] = engine.run(sc.warmup / 2, sc.measure / 2);
@@ -101,7 +122,8 @@ struct SharedPifRun
  * storage pool (the Section 4 shared-storage path, serial by design).
  */
 SharedPifRun
-sharedPifRun(const Scenario &sc, const Program &prog)
+sharedPifRun(const Scenario &sc, const LoweredWorkload *lw,
+             const Program &prog)
 {
     constexpr unsigned cores = 2;
     auto storage = std::make_shared<SharedPifStorage>(sc.cfg.pif);
@@ -113,9 +135,11 @@ sharedPifRun(const Scenario &sc, const Program &prog)
         prefetchers.push_back(pf.get());
         SystemConfig cfg = sc.cfg;
         cfg.seed = sc.cfg.seed + core * 7919;
+        const ExecutorConfig exec =
+            lw ? executorConfigFor(*lw, 0, core + 1)
+               : executorConfigFor(sc.params, core + 1);
         engines.push_back(std::make_unique<TraceEngine>(
-            cfg, prog, executorConfigFor(sc.params, core + 1),
-            std::move(pf)));
+            cfg, prog, exec, std::move(pf)));
     }
 
     const InstCount total = (sc.warmup + sc.measure) / 2;
@@ -151,8 +175,14 @@ runScenario(const Scenario &sc, FaultInjection inject)
         return out;
     }
 
-    const Program prog = WorkloadGenerator::build(sc.params);
-    const ExecutorConfig exec = executorConfigFor(sc.params);
+    // Spec scenarios lower onto the same pipeline: linked Program
+    // plus a phase-scheduled executor config; every oracle below is
+    // workload-agnostic.
+    const std::optional<LoweredWorkload> lw = loweredOf(sc);
+    const Program prog =
+        lw ? lw->build() : WorkloadGenerator::build(sc.params);
+    const ExecutorConfig exec =
+        lw ? executorConfigFor(*lw) : executorConfigFor(sc.params);
 
     // 1. Differential oracle: same scenario through both engines.
     const TraceRunResult trace = traceRun(prog, exec, sc.cfg, sc.kind,
@@ -257,8 +287,9 @@ runScenario(const Scenario &sc, FaultInjection inject)
 
     // 7. Shared-PIF interleaving determinism.
     {
-        const SharedPifRun a = sharedPifRun(sc, prog);
-        const SharedPifRun b = sharedPifRun(sc, prog);
+        const LoweredWorkload *lwp = lw ? &*lw : nullptr;
+        const SharedPifRun a = sharedPifRun(sc, lwp, prog);
+        const SharedPifRun b = sharedPifRun(sc, lwp, prog);
         if (a.accesses != b.accesses || a.misses != b.misses ||
             a.coverage != b.coverage ||
             a.regionsRecorded != b.regionsRecorded) {
@@ -314,6 +345,34 @@ shrinkScenario(const Scenario &failing,
         return attempt(std::move(cand));
     };
 
+    /**
+     * The workload params the engines actually consume: the spec's
+     * surviving program in spec mode (cloned first — Scenario shares
+     * its spec), else the scenario's own params. Lets every param
+     * move below shrink spec scenarios in spec coordinates.
+     */
+    const auto mutableParams = [](Scenario &s) -> WorkloadParams & {
+        if (!s.spec)
+            return s.params;
+        auto clone = std::make_shared<WorkloadSpec>(*s.spec);
+        WorkloadParams &p = clone->programs.front().params;
+        s.spec = std::move(clone);
+        return p;
+    };
+
+    /** Clone-mutate-replace a spec dimension (no-op sans spec). */
+    const auto specPin = [&](auto apply) {
+        return pin([&](Scenario &s) {
+            if (!s.spec)
+                return false;
+            auto clone = std::make_shared<WorkloadSpec>(*s.spec);
+            if (!apply(*clone))
+                return false;  // already at the floor
+            s.spec = std::move(clone);
+            return true;
+        });
+    };
+
     bool changed = true;
     for (int pass = 0; changed && pass < 12; ++pass) {
         changed = false;
@@ -341,30 +400,80 @@ shrinkScenario(const Scenario &failing,
             s.kind = PrefetcherKind::None;
             return true;
         });
-        changed |= halve([](Scenario &s) -> unsigned & {
-            return s.params.appFunctions; }, 40);
-        changed |= halve([](Scenario &s) -> unsigned & {
-            return s.params.libFunctions; }, 8);
-        changed |= halve([](Scenario &s) -> unsigned & {
-            return s.params.handlers; }, 4);
-        changed |= halve([](Scenario &s) -> unsigned & {
-            return s.params.transactions; }, 2);
-        changed |= pin([](Scenario &s) {
-            if (s.params.interruptRate == 0.0)
+        // Spec coordinates before program knobs: collapsing the
+        // schedule and program list first lets the param moves below
+        // act on the single surviving program.
+        changed |= specPin([](WorkloadSpec &spec) {
+            if (spec.phases.empty())
                 return false;
-            s.params.interruptRate = 0.0;
+            spec.phases.clear();  // steady state (no schedule)
             return true;
         });
-        changed |= pin([](Scenario &s) {
-            if (s.params.loopsPerFunction == 0.0)
+        changed |= specPin([](WorkloadSpec &spec) {
+            if (spec.phases.size() <= 1)
                 return false;
-            s.params.loopsPerFunction = 0.0;
+            spec.phases.resize(1);
             return true;
         });
-        changed |= halve([](Scenario &s) -> unsigned & {
-            return s.params.callLayers; }, 2);
-        changed |= halve([](Scenario &s) -> unsigned & {
-            return s.params.maxCallDepth; }, 6);
+        changed |= specPin([](WorkloadSpec &spec) {
+            if (spec.programs.size() <= 1)
+                return false;
+            spec.programs.resize(1);
+            // Mixes may reference dropped programs; uniform-over-one
+            // is the canonical floor anyway.
+            for (WorkloadSpecPhase &ph : spec.phases)
+                ph.mix.clear();
+            return true;
+        });
+        changed |= specPin([](WorkloadSpec &spec) {
+            bool any = false;
+            for (WorkloadSpecPhase &ph : spec.phases) {
+                if (ph.instructions > specMinPhaseInstrs) {
+                    ph.instructions = std::max(
+                        specMinPhaseInstrs, ph.instructions / 2);
+                    any = true;
+                }
+            }
+            return any;
+        });
+        changed |= specPin([](WorkloadSpec &spec) {
+            bool any = false;
+            for (WorkloadSpecPhase &ph : spec.phases) {
+                if (ph.interruptRate != 0.0 ||
+                    ph.interruptRateEnd >= 0.0) {
+                    ph.interruptRate = 0.0;   // explicit off, no ramp
+                    ph.interruptRateEnd = -1.0;
+                    any = true;
+                }
+            }
+            return any;
+        });
+        changed |= halve([&](Scenario &s) -> unsigned & {
+            return mutableParams(s).appFunctions; }, 40);
+        changed |= halve([&](Scenario &s) -> unsigned & {
+            return mutableParams(s).libFunctions; }, 8);
+        changed |= halve([&](Scenario &s) -> unsigned & {
+            return mutableParams(s).handlers; }, 4);
+        changed |= halve([&](Scenario &s) -> unsigned & {
+            return mutableParams(s).transactions; }, 2);
+        changed |= pin([&](Scenario &s) {
+            WorkloadParams &p = mutableParams(s);
+            if (p.interruptRate == 0.0)
+                return false;
+            p.interruptRate = 0.0;
+            return true;
+        });
+        changed |= pin([&](Scenario &s) {
+            WorkloadParams &p = mutableParams(s);
+            if (p.loopsPerFunction == 0.0)
+                return false;
+            p.loopsPerFunction = 0.0;
+            return true;
+        });
+        changed |= halve([&](Scenario &s) -> unsigned & {
+            return mutableParams(s).callLayers; }, 2);
+        changed |= halve([&](Scenario &s) -> unsigned & {
+            return mutableParams(s).maxCallDepth; }, 6);
         changed |= halve([](Scenario &s) -> std::uint64_t & {
             return s.cfg.pif.historyRegions; }, 512);
         changed |= halve([](Scenario &s) -> unsigned & {
@@ -407,7 +516,11 @@ runCheck(const CheckOptions &opts)
 
     std::vector<std::unique_ptr<ScenarioReport>> slots(opts.seeds);
     parallelFor(opts.threads, opts.seeds, [&](std::uint64_t i) {
-        const Scenario sc = scenarioFromSeed(opts.baseSeed + i);
+        Scenario sc = scenarioFromSeed(opts.baseSeed + i);
+        // Spec-space mode: the whole seed range sweeps prefetchers,
+        // configs and budgets over the one supplied spec.
+        if (opts.spec)
+            sc.spec = opts.spec;
         std::vector<CheckFailure> failures = runScenario(sc, opts.inject);
         if (failures.empty())
             return;

@@ -50,6 +50,13 @@ struct CheckOptions
     std::uint64_t baseSeed = 1;
     /** Number of scenarios to fuzz. */
     unsigned seeds = 25;
+    /**
+     * When set, every fuzzed scenario swaps its workload for this
+     * spec (`pifetch check --workload-file`): the oracle battery then
+     * sweeps prefetchers, configs and budgets over one fixed spec
+     * instead of fuzzed params.
+     */
+    std::shared_ptr<const WorkloadSpec> spec;
     /** Worker lanes fanning scenarios (0 = auto / PIFETCH_THREADS). */
     unsigned threads = 0;
     /** Shrink failing scenarios to minimal repros. */

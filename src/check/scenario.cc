@@ -113,6 +113,54 @@ scenarioFromSeed(std::uint64_t seed)
     sc.measure = 20'000 + rng.below(60'001);
     sc.threads = 2 + static_cast<unsigned>(rng.below(3));
     sc.cores = 2 + static_cast<unsigned>(rng.below(2));
+
+    // A fifth of the seed space fuzzes the declarative spec layer:
+    // the scenario gains a 1-2 program, 1-3 phase WorkloadSpec built
+    // from the params drawn above. All spec draws come after every
+    // plain-scenario draw so the other four fifths of the seed space
+    // replay exactly as before this layer existed.
+    if (seed % 5 == 3) {
+        WorkloadSpec spec;
+        spec.name = "fuzz-spec-" + std::to_string(seed);
+        spec.title = spec.name;
+        spec.description = "fuzzer-derived workload spec";
+        spec.seed = rng.next();
+        const unsigned nprogs = 1 + static_cast<unsigned>(rng.below(2));
+        for (unsigned i = 0; i < nprogs; ++i) {
+            WorkloadSpecProgram pr;
+            pr.name = "prog" + std::to_string(i);
+            pr.params = sc.params;
+            pr.params.name = pr.name;
+            pr.params.seed = rng.next();
+            pr.params.appFunctions =
+                40 + static_cast<unsigned>(rng.below(400));
+            pr.params.transactions =
+                2 + static_cast<unsigned>(rng.below(6));
+            spec.programs.push_back(std::move(pr));
+        }
+        const unsigned nphases = 1 + static_cast<unsigned>(rng.below(3));
+        for (unsigned i = 0; i < nphases; ++i) {
+            WorkloadSpecPhase ph;
+            ph.name = "phase" + std::to_string(i);
+            // Bounded well below specMaxPhaseInstrs so repeated
+            // halving reaches the specMinPhaseInstrs floor within the
+            // shrinker's pass budget.
+            ph.instructions = 2'000 + rng.below(198'001);
+            if (nprogs > 1 && rng.chance(0.5)) {
+                for (unsigned j = 0; j < nprogs; ++j) {
+                    ph.mix.emplace_back(spec.programs[j].name,
+                                        0.25 + rng.uniform());
+                }
+            }
+            if (rng.chance(0.5)) {
+                ph.interruptRate = rng.uniform() * 2.0e-4;
+                if (rng.chance(0.5))
+                    ph.interruptRateEnd = rng.uniform() * 2.0e-4;
+            }
+            spec.phases.push_back(std::move(ph));
+        }
+        sc.spec = std::make_shared<const WorkloadSpec>(std::move(spec));
+    }
     return sc;
 }
 
@@ -121,6 +169,10 @@ validateScenario(const Scenario &sc)
 {
     if (const auto err = validateWorkloadParams(sc.params))
         return err;
+    if (sc.spec) {
+        if (const auto err = validateWorkloadSpec(*sc.spec))
+            return err;
+    }
     // Upper caps follow the same threat model as the
     // validateWorkloadParams maxima: a hand-edited or corrupted repro
     // JSON must fail validation with a message, not abort in an
@@ -428,6 +480,8 @@ toResult(const Scenario &sc)
     v.set("cores", sc.cores);
     v.set("params", paramsToResult(sc.params));
     v.set("config", configToScenarioResult(sc.cfg));
+    if (sc.spec)
+        v.set("workload_spec", specToResult(*sc.spec));
     return v;
 }
 
@@ -471,6 +525,19 @@ scenarioFromResult(const ResultValue &v, std::string *err)
     if (const ResultValue *cfg = v.find("config")) {
         if (!configFromResult(*cfg, sc.cfg, err))
             return std::nullopt;
+    }
+    if (const ResultValue *ws = v.find("workload_spec")) {
+        // Spec decoding is strict by design (unlike the lenient
+        // member readers above): a corrupted spec replays a different
+        // workload, so refuse rather than fill defaults.
+        std::string serr;
+        auto spec = workloadSpecFromResult(*ws, &serr);
+        if (!spec) {
+            if (err)
+                *err = "workload_spec: " + serr;
+            return std::nullopt;
+        }
+        sc.spec = std::make_shared<const WorkloadSpec>(std::move(*spec));
     }
     if (!r.ok)
         return std::nullopt;

@@ -20,6 +20,7 @@
 #define PIFETCH_CHECK_SCENARIO_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -27,6 +28,7 @@
 #include "common/results.hh"
 #include "sim/system_config.hh"
 #include "trace/generator.hh"
+#include "trace/workload_spec.hh"
 
 namespace pifetch {
 
@@ -38,6 +40,14 @@ struct Scenario
 
     /** Synthetic-workload parameters (validated, not preset-bound). */
     WorkloadParams params;
+
+    /**
+     * Declarative workload spec driving the engines instead of
+     * `params` when set (spec-mode scenarios; the fuzzer emits these
+     * for a fifth of its seeds). Shared so copying a Scenario stays
+     * cheap; the shrinker clones before mutating (copy-on-write).
+     */
+    std::shared_ptr<const WorkloadSpec> spec;
 
     /** System configuration (cache geometry, PIF sizing, seeds). */
     SystemConfig cfg;

@@ -35,11 +35,11 @@ studyPredictorConfig()
 } // namespace
 
 Fig2Result
-runFig2(ServerWorkload w, const ExperimentBudget &budget,
+runFig2(const WorkloadRef &w, const ExperimentBudget &budget,
         const SystemConfig &cfg)
 {
-    const Program prog = buildWorkloadProgram(w);
-    Executor exec(prog, executorConfigFor(w));
+    const Program prog = w.buildProgram();
+    Executor exec(prog, w.executorConfig());
     Cache l1i(cfg.l1i, ReplacementKind::LRU, cfg.seed);
     Frontend frontend(cfg, l1i, cfg.seed ^ 0xfe7c4);
 
@@ -110,7 +110,7 @@ runFig2(ServerWorkload w, const ExperimentBudget &budget,
     }
 
     Fig2Result res;
-    res.workload = w;
+    res.workload = w.key();
     res.correctPathMisses = total_misses;
     const double denom =
         total_misses > 0 ? static_cast<double>(total_misses) : 1.0;
@@ -122,10 +122,10 @@ runFig2(ServerWorkload w, const ExperimentBudget &budget,
 }
 
 Fig3Result
-runFig3(ServerWorkload w, InstCount instrs)
+runFig3(const WorkloadRef &w, InstCount instrs)
 {
-    const Program prog = buildWorkloadProgram(w);
-    Executor exec(prog, executorConfigFor(w));
+    const Program prog = w.buildProgram();
+    Executor exec(prog, w.executorConfig());
     // Wide window so the density distribution itself reveals the
     // useful geometry (up to 32 blocks as in the paper's buckets).
     RegionAnalyzer analyzer(4, 27);
@@ -135,7 +135,7 @@ runFig3(ServerWorkload w, InstCount instrs)
     analyzer.finish();
 
     Fig3Result res;
-    res.workload = w;
+    res.workload = w.key();
     res.density = analyzer.density();
     res.groups = analyzer.groups();
     res.regions = analyzer.regions();
@@ -143,10 +143,10 @@ runFig3(ServerWorkload w, InstCount instrs)
 }
 
 Log2Histogram
-runFig7(ServerWorkload w, InstCount instrs)
+runFig7(const WorkloadRef &w, InstCount instrs)
 {
-    const Program prog = buildWorkloadProgram(w);
-    Executor exec(prog, executorConfigFor(w));
+    const Program prog = w.buildProgram();
+    Executor exec(prog, w.executorConfig());
     JumpDistanceStudy study;
 
     Addr last_block = invalidAddr;
@@ -165,10 +165,10 @@ runFig7(ServerWorkload w, InstCount instrs)
 }
 
 LinearHistogram
-runFig8Left(ServerWorkload w, InstCount instrs)
+runFig8Left(const WorkloadRef &w, InstCount instrs)
 {
-    const Program prog = buildWorkloadProgram(w);
-    Executor exec(prog, executorConfigFor(w));
+    const Program prog = w.buildProgram();
+    Executor exec(prog, w.executorConfig());
     RegionAnalyzer analyzer(4, 12);  // the figure's -4..+12 window
 
     for (InstCount i = 0; i < instrs; ++i)
@@ -178,7 +178,7 @@ runFig8Left(ServerWorkload w, InstCount instrs)
 }
 
 std::vector<Fig8RightPoint>
-runFig8Right(ServerWorkload w, const ExperimentBudget &budget,
+runFig8Right(const WorkloadRef &w, const ExperimentBudget &budget,
              const SystemConfig &cfg)
 {
     // Region size -> (blocks before, blocks after) skewed toward
@@ -188,7 +188,7 @@ runFig8Right(ServerWorkload w, const ExperimentBudget &budget,
         {1, 0, 0}, {2, 0, 1}, {4, 1, 2}, {6, 2, 3}, {8, 2, 5},
     };
 
-    const Program prog = buildWorkloadProgram(w);
+    const Program prog = w.buildProgram();
     std::vector<Fig8RightPoint> out;
     for (const Geometry &g : geometries) {
         SystemConfig c = cfg;
@@ -196,7 +196,7 @@ runFig8Right(ServerWorkload w, const ExperimentBudget &budget,
         c.pif.blocksAfter = g.after;
         auto pif = std::make_unique<PifPrefetcher>(c.pif, false);
         PifPrefetcher *pif_raw = pif.get();
-        TraceEngine engine(c, prog, executorConfigFor(w),
+        TraceEngine engine(c, prog, w.executorConfig(),
                            std::move(pif));
         engine.run(budget.warmup, budget.measure);
 
@@ -210,10 +210,10 @@ runFig8Right(ServerWorkload w, const ExperimentBudget &budget,
 }
 
 Log2Histogram
-runFig9Left(ServerWorkload w, InstCount instrs)
+runFig9Left(const WorkloadRef &w, InstCount instrs)
 {
-    const Program prog = buildWorkloadProgram(w);
-    Executor exec(prog, executorConfigFor(w));
+    const Program prog = w.buildProgram();
+    Executor exec(prog, w.executorConfig());
 
     // Compact the retire stream into spatial regions first: stream
     // lengths are measured in regions, matching the figure's axis.
@@ -233,18 +233,18 @@ runFig9Left(ServerWorkload w, InstCount instrs)
 }
 
 std::vector<Fig9RightPoint>
-runFig9Right(ServerWorkload w, const ExperimentBudget &budget,
+runFig9Right(const WorkloadRef &w, const ExperimentBudget &budget,
              const std::vector<std::uint64_t> &sizes,
              const SystemConfig &cfg)
 {
-    const Program prog = buildWorkloadProgram(w);
+    const Program prog = w.buildProgram();
     std::vector<Fig9RightPoint> out;
     for (std::uint64_t regions : sizes) {
         SystemConfig c = cfg;
         c.pif.historyRegions = regions;
         auto pif = std::make_unique<PifPrefetcher>(c.pif, false);
         PifPrefetcher *pif_raw = pif.get();
-        TraceEngine engine(c, prog, executorConfigFor(w),
+        TraceEngine engine(c, prog, w.executorConfig(),
                            std::move(pif));
         engine.run(budget.warmup, budget.measure);
 
@@ -257,10 +257,10 @@ runFig9Right(ServerWorkload w, const ExperimentBudget &budget,
 }
 
 std::vector<Fig10CoveragePoint>
-runFig10Coverage(ServerWorkload w, const ExperimentBudget &budget,
+runFig10Coverage(const WorkloadRef &w, const ExperimentBudget &budget,
                  const SystemConfig &cfg)
 {
-    const Program prog = buildWorkloadProgram(w);
+    const Program prog = w.buildProgram();
 
     // Slot 0 (None -> NullPrefetcher) is the baseline defining the
     // miss population. Every engine is independent (the shared
@@ -278,7 +278,7 @@ runFig10Coverage(ServerWorkload w, const ExperimentBudget &budget,
     std::uint64_t misses[num_kinds] = {};
     parallelFor(cfg.threads, num_kinds, [&](std::uint64_t i) {
         // Section 5.5 compares without storage limitations.
-        TraceEngine engine(cfg, prog, executorConfigFor(w),
+        TraceEngine engine(cfg, prog, w.executorConfig(),
                            makePrefetcher(kinds[i], cfg, true));
         misses[i] = engine.run(budget.warmup, budget.measure).misses;
     });
@@ -302,10 +302,10 @@ runFig10Coverage(ServerWorkload w, const ExperimentBudget &budget,
 }
 
 std::vector<Fig10SpeedupPoint>
-runFig10Speedup(ServerWorkload w, const ExperimentBudget &budget,
+runFig10Speedup(const WorkloadRef &w, const ExperimentBudget &budget,
                 const SystemConfig &cfg)
 {
-    const Program prog = buildWorkloadProgram(w);
+    const Program prog = w.buildProgram();
 
     static constexpr PrefetcherKind kinds[] = {
         PrefetcherKind::None,
@@ -321,7 +321,7 @@ runFig10Speedup(ServerWorkload w, const ExperimentBudget &budget,
     // One independent cycle engine per configuration; speedups are
     // derived from the fixed slots after all engines complete.
     parallelFor(cfg.threads, num_kinds, [&](std::uint64_t i) {
-        CycleEngine engine(cfg, prog, executorConfigFor(w), kinds[i]);
+        CycleEngine engine(cfg, prog, w.executorConfig(), kinds[i]);
         uipc[i] = engine.run(budget.warmup, budget.measure).uipc;
     });
 

@@ -16,6 +16,7 @@
 #include "common/histogram.hh"
 #include "sim/system_config.hh"
 #include "sim/trace_engine.hh"
+#include "sim/workloads.hh"
 #include "trace/server_suite.hh"
 
 namespace pifetch {
@@ -30,7 +31,7 @@ struct ExperimentBudget
 /** Figure 2: stream-observation-point coverage for one workload. */
 struct Fig2Result
 {
-    ServerWorkload workload;
+    std::string workload;  //!< workload key (preset or spec slug)
     std::uint64_t correctPathMisses = 0;
     double missCoverage = 0.0;      //!< predict the L1-I miss stream
     double accessCoverage = 0.0;    //!< predict the fetch-access stream
@@ -39,26 +40,26 @@ struct Fig2Result
 };
 
 /** Run the Figure 2 study on one workload. */
-Fig2Result runFig2(ServerWorkload w, const ExperimentBudget &budget,
+Fig2Result runFig2(const WorkloadRef &w, const ExperimentBudget &budget,
                    const SystemConfig &cfg = SystemConfig{});
 
 /** Figure 3: spatial region density and discontinuity for a workload. */
 struct Fig3Result
 {
-    ServerWorkload workload;
+    std::string workload;  //!< workload key (preset or spec slug)
     RangeHistogram density{{1, 2, 4, 8, 16, 32}};
     RangeHistogram groups{{1, 2, 4, 8, 16}};
     std::uint64_t regions = 0;
 };
 
 /** Run the Figure 3 study (regions over the retire-order stream). */
-Fig3Result runFig3(ServerWorkload w, InstCount instrs);
+Fig3Result runFig3(const WorkloadRef &w, InstCount instrs);
 
 /** Figure 7: coverage-weighted jump distance histogram. */
-Log2Histogram runFig7(ServerWorkload w, InstCount instrs);
+Log2Histogram runFig7(const WorkloadRef &w, InstCount instrs);
 
 /** Figure 8 (left): access frequency by offset from the trigger. */
-LinearHistogram runFig8Left(ServerWorkload w, InstCount instrs);
+LinearHistogram runFig8Left(const WorkloadRef &w, InstCount instrs);
 
 /** Figure 8 (right): PIF coverage per trap level vs region size. */
 struct Fig8RightPoint
@@ -69,12 +70,12 @@ struct Fig8RightPoint
 };
 
 std::vector<Fig8RightPoint>
-runFig8Right(ServerWorkload w, const ExperimentBudget &budget,
+runFig8Right(const WorkloadRef &w, const ExperimentBudget &budget,
              const SystemConfig &cfg = SystemConfig{});
 
 /** Figure 9 (left): coverage-weighted temporal stream lengths
  * (in spatial regions). */
-Log2Histogram runFig9Left(ServerWorkload w, InstCount instrs);
+Log2Histogram runFig9Left(const WorkloadRef &w, InstCount instrs);
 
 /** Figure 9 (right): PIF coverage vs history buffer capacity. */
 struct Fig9RightPoint
@@ -84,7 +85,7 @@ struct Fig9RightPoint
 };
 
 std::vector<Fig9RightPoint>
-runFig9Right(ServerWorkload w, const ExperimentBudget &budget,
+runFig9Right(const WorkloadRef &w, const ExperimentBudget &budget,
              const std::vector<std::uint64_t> &sizes,
              const SystemConfig &cfg = SystemConfig{});
 
@@ -98,7 +99,7 @@ struct Fig10CoveragePoint
 };
 
 std::vector<Fig10CoveragePoint>
-runFig10Coverage(ServerWorkload w, const ExperimentBudget &budget,
+runFig10Coverage(const WorkloadRef &w, const ExperimentBudget &budget,
                  const SystemConfig &cfg = SystemConfig{});
 
 /** Figure 10 (right): UIPC speedup over the no-prefetch baseline. */
@@ -110,7 +111,7 @@ struct Fig10SpeedupPoint
 };
 
 std::vector<Fig10SpeedupPoint>
-runFig10Speedup(ServerWorkload w, const ExperimentBudget &budget,
+runFig10Speedup(const WorkloadRef &w, const ExperimentBudget &budget,
                 const SystemConfig &cfg = SystemConfig{});
 
 } // namespace pifetch

@@ -61,7 +61,7 @@ MulticoreCycleResult::totalUserInstrs() const
 }
 
 MulticoreTraceResult
-runMulticoreTrace(ServerWorkload w, PrefetcherKind kind, unsigned cores,
+runMulticoreTrace(const WorkloadRef &w, PrefetcherKind kind, unsigned cores,
                   InstCount warmup, InstCount measure,
                   const SystemConfig &cfg)
 {
@@ -75,12 +75,11 @@ runMulticoreTrace(ServerWorkload w, PrefetcherKind kind, unsigned cores,
         // Each core executes its own instance of the workload: same
         // program, different transaction interleaving and interrupt
         // arrivals (seed offset), exactly like distinct server threads.
-        const Program prog = buildWorkloadProgram(w, core);
+        const Program prog = w.buildProgram(core);
         SystemConfig core_cfg = cfg;
         core_cfg.seed = cfg.seed + core * 7919;
         TraceEngine engine(core_cfg, prog,
-                           executorConfigFor(workloadParams(w, core),
-                                             core),
+                           w.executorConfig(core, core),
                            makePrefetcher(kind, core_cfg));
         out.perCore[core] = engine.run(warmup, measure);
     });
@@ -128,14 +127,14 @@ meanMissRatioSince(const std::vector<std::unique_ptr<TraceEngine>> &eng,
 } // namespace
 
 SharedPifStudyResult
-runSharedPifStudy(ServerWorkload w, unsigned cores,
+runSharedPifStudy(const WorkloadRef &w, unsigned cores,
                   std::uint64_t total_history_regions,
                   InstCount warmup, InstCount measure,
                   const SystemConfig &cfg)
 {
     // All cores execute the SAME binary (distinct interleavings), as
     // on a real server; otherwise cross-core sharing cannot help.
-    const Program prog = buildWorkloadProgram(w);
+    const Program prog = w.buildProgram();
     SharedPifStudyResult out;
 
     for (const bool shared : {false, true}) {
@@ -164,7 +163,7 @@ runSharedPifStudy(ServerWorkload w, unsigned cores,
             core_cfg.seed = run_cfg.seed + core * 7919;
             engines.push_back(std::make_unique<TraceEngine>(
                 core_cfg, prog,
-                executorConfigFor(workloadParams(w), core + 1),
+                w.executorConfig(0, core + 1),
                 std::move(pf)));
         }
 
@@ -204,7 +203,7 @@ runSharedPifStudy(ServerWorkload w, unsigned cores,
 }
 
 MulticoreCycleResult
-runMulticoreCycle(ServerWorkload w, PrefetcherKind kind, unsigned cores,
+runMulticoreCycle(const WorkloadRef &w, PrefetcherKind kind, unsigned cores,
                   InstCount warmup, InstCount measure,
                   const SystemConfig &cfg)
 {
@@ -213,12 +212,11 @@ runMulticoreCycle(ServerWorkload w, PrefetcherKind kind, unsigned cores,
     // Same isolation argument as runMulticoreTrace: per-task
     // construction, disjoint result slots, deterministic output.
     parallelFor(cfg.threads, cores, [&](std::uint64_t core) {
-        const Program prog = buildWorkloadProgram(w, core);
+        const Program prog = w.buildProgram(core);
         SystemConfig core_cfg = cfg;
         core_cfg.seed = cfg.seed + core * 7919;
         CycleEngine engine(core_cfg, prog,
-                           executorConfigFor(workloadParams(w, core),
-                                             core),
+                           w.executorConfig(core, core),
                            kind);
         out.perCore[core] = engine.run(warmup, measure);
     });

@@ -58,13 +58,13 @@ struct MulticoreCycleResult
  * @param kind Prefetcher attached to every core (independent copies).
  */
 MulticoreTraceResult
-runMulticoreTrace(ServerWorkload w, PrefetcherKind kind, unsigned cores,
+runMulticoreTrace(const WorkloadRef &w, PrefetcherKind kind, unsigned cores,
                   InstCount warmup, InstCount measure,
                   const SystemConfig &cfg = SystemConfig{});
 
 /** Run the cycle engine on @p cores instances of a workload. */
 MulticoreCycleResult
-runMulticoreCycle(ServerWorkload w, PrefetcherKind kind, unsigned cores,
+runMulticoreCycle(const WorkloadRef &w, PrefetcherKind kind, unsigned cores,
                   InstCount warmup, InstCount measure,
                   const SystemConfig &cfg = SystemConfig{});
 
@@ -88,7 +88,7 @@ struct SharedPifStudyResult
  * cores executing the same program (distinct interleavings).
  */
 SharedPifStudyResult
-runSharedPifStudy(ServerWorkload w, unsigned cores,
+runSharedPifStudy(const WorkloadRef &w, unsigned cores,
                   std::uint64_t total_history_regions,
                   InstCount warmup, InstCount measure,
                   const SystemConfig &cfg = SystemConfig{});

@@ -28,7 +28,7 @@ namespace pifetch {
 
 namespace {
 
-std::vector<ServerWorkload>
+std::vector<WorkloadRef>
 workloadsOf(const ExperimentSpec &spec, const RunOptions &opts)
 {
     return opts.workloads.empty() ? spec.defaultWorkloads
@@ -43,10 +43,10 @@ budgetOf(const ExperimentSpec &spec, const RunOptions &opts)
 
 /** Standard row prefix: workload class and display name. */
 void
-pushWorkloadCells(ResultValue &row, ServerWorkload w)
+pushWorkloadCells(ResultValue &row, const WorkloadRef &w)
 {
-    row.push(workloadGroup(w));
-    row.push(workloadName(w));
+    row.push(w.group());
+    row.push(w.name());
 }
 
 // --------------------------------------------------------- Table I
@@ -103,7 +103,7 @@ runTable1(const ExperimentSpec &spec, const RunOptions &opts)
         add("tifs_equal_capacity", tifsStorageBits(cfg.tifs) / 8192.0);
     }
 
-    const std::vector<ServerWorkload> ws = workloadsOf(spec, opts);
+    const std::vector<WorkloadRef> ws = workloadsOf(spec, opts);
     ResultValue app = makeTable(
         "Application parameters (Table I right, synthetic equivalents)",
         {"group", "workload", "footprint_mb", "app_functions",
@@ -111,11 +111,11 @@ runTable1(const ExperimentSpec &spec, const RunOptions &opts)
     {
         std::vector<std::uint64_t> footprint(ws.size(), 0);
         parallelFor(cfg.threads, ws.size(), [&](std::uint64_t i) {
-            footprint[i] = buildWorkloadProgram(ws[i]).footprintBytes();
+            footprint[i] = ws[i].buildProgram().footprintBytes();
         });
         ResultValue &rows = *app.find("rows");
         for (std::size_t i = 0; i < ws.size(); ++i) {
-            const WorkloadParams p = workloadParams(ws[i]);
+            const WorkloadParams p = ws[i].params();
             ResultValue row = ResultValue::array();
             pushWorkloadCells(row, ws[i]);
             row.push(static_cast<double>(footprint[i]) / (1 << 20));
@@ -140,7 +140,7 @@ runTable1(const ExperimentSpec &spec, const RunOptions &opts)
 ResultValue
 runFig2Body(const ExperimentSpec &spec, const RunOptions &opts)
 {
-    const std::vector<ServerWorkload> ws = workloadsOf(spec, opts);
+    const std::vector<WorkloadRef> ws = workloadsOf(spec, opts);
     const ExperimentBudget budget = budgetOf(spec, opts);
 
     std::vector<Fig2Result> rs(ws.size());
@@ -173,7 +173,7 @@ runFig2Body(const ExperimentSpec &spec, const RunOptions &opts)
 ResultValue
 runFig3Body(const ExperimentSpec &spec, const RunOptions &opts)
 {
-    const std::vector<ServerWorkload> ws = workloadsOf(spec, opts);
+    const std::vector<WorkloadRef> ws = workloadsOf(spec, opts);
     const InstCount instrs = budgetOf(spec, opts).measure;
 
     std::vector<Fig3Result> rs;
@@ -220,7 +220,7 @@ runFig3Body(const ExperimentSpec &spec, const RunOptions &opts)
 
 /** Shared shape: per-workload cumulative log2 histogram table. */
 ResultValue
-cumulativeLog2Body(const std::vector<ServerWorkload> &ws,
+cumulativeLog2Body(const std::vector<WorkloadRef> &ws,
                    const std::vector<Log2Histogram> &hists,
                    unsigned bucket_cap, const char *title)
 {
@@ -230,8 +230,8 @@ cumulativeLog2Body(const std::vector<ServerWorkload> &ws,
     max_bucket = std::min(max_bucket, bucket_cap);
 
     std::vector<std::string> cols = {"log2"};
-    for (ServerWorkload w : ws)
-        cols.push_back(workloadName(w));
+    for (const WorkloadRef &w : ws)
+        cols.push_back(w.name());
     ResultValue t = makeTable(title, cols);
     ResultValue &rows = *t.find("rows");
     for (unsigned b = 0; b <= max_bucket; ++b) {
@@ -249,7 +249,7 @@ cumulativeLog2Body(const std::vector<ServerWorkload> &ws,
 ResultValue
 runFig7Body(const ExperimentSpec &spec, const RunOptions &opts)
 {
-    const std::vector<ServerWorkload> ws = workloadsOf(spec, opts);
+    const std::vector<WorkloadRef> ws = workloadsOf(spec, opts);
     const InstCount instrs = budgetOf(spec, opts).measure;
     std::vector<Log2Histogram> hists(ws.size(), Log2Histogram(1));
     parallelFor(opts.cfg.threads, ws.size(), [&](std::uint64_t i) {
@@ -263,7 +263,7 @@ runFig7Body(const ExperimentSpec &spec, const RunOptions &opts)
 ResultValue
 runFig9LeftBody(const ExperimentSpec &spec, const RunOptions &opts)
 {
-    const std::vector<ServerWorkload> ws = workloadsOf(spec, opts);
+    const std::vector<WorkloadRef> ws = workloadsOf(spec, opts);
     const InstCount instrs = budgetOf(spec, opts).measure;
     std::vector<Log2Histogram> hists(ws.size(), Log2Histogram(1));
     parallelFor(opts.cfg.threads, ws.size(), [&](std::uint64_t i) {
@@ -280,7 +280,7 @@ runFig9LeftBody(const ExperimentSpec &spec, const RunOptions &opts)
 ResultValue
 runFig8LeftBody(const ExperimentSpec &spec, const RunOptions &opts)
 {
-    const std::vector<ServerWorkload> ws = workloadsOf(spec, opts);
+    const std::vector<WorkloadRef> ws = workloadsOf(spec, opts);
     const InstCount instrs = budgetOf(spec, opts).measure;
 
     std::vector<LinearHistogram> hists(ws.size(),
@@ -292,8 +292,8 @@ runFig8LeftBody(const ExperimentSpec &spec, const RunOptions &opts)
     // The paper aggregates by workload class; preserve the class
     // order of the selected workloads.
     std::vector<std::string> groups;
-    for (ServerWorkload w : ws) {
-        const std::string g = workloadGroup(w);
+    for (const WorkloadRef &w : ws) {
+        const std::string g = w.group();
         if (std::find(groups.begin(), groups.end(), g) == groups.end())
             groups.push_back(g);
     }
@@ -302,7 +302,7 @@ runFig8LeftBody(const ExperimentSpec &spec, const RunOptions &opts)
     for (std::size_t i = 0; i < ws.size(); ++i) {
         const std::size_t g = static_cast<std::size_t>(
             std::find(groups.begin(), groups.end(),
-                      workloadGroup(ws[i])) -
+                      ws[i].group()) -
             groups.begin());
         for (int off = -4; off <= 12; ++off) {
             if (off != 0)
@@ -333,7 +333,7 @@ runFig8LeftBody(const ExperimentSpec &spec, const RunOptions &opts)
 ResultValue
 runFig8RightBody(const ExperimentSpec &spec, const RunOptions &opts)
 {
-    const std::vector<ServerWorkload> ws = workloadsOf(spec, opts);
+    const std::vector<WorkloadRef> ws = workloadsOf(spec, opts);
     const ExperimentBudget budget = budgetOf(spec, opts);
 
     std::vector<std::vector<Fig8RightPoint>> rs(ws.size());
@@ -367,7 +367,7 @@ runFig8RightBody(const ExperimentSpec &spec, const RunOptions &opts)
 ResultValue
 runFig9RightBody(const ExperimentSpec &spec, const RunOptions &opts)
 {
-    const std::vector<ServerWorkload> ws = workloadsOf(spec, opts);
+    const std::vector<WorkloadRef> ws = workloadsOf(spec, opts);
     const ExperimentBudget budget = budgetOf(spec, opts);
     const std::vector<std::uint64_t> sizes = {
         2 * 1024, 8 * 1024, 32 * 1024, 128 * 1024, 512 * 1024,
@@ -379,8 +379,8 @@ runFig9RightBody(const ExperimentSpec &spec, const RunOptions &opts)
     });
 
     std::vector<std::string> cols = {"history_regions"};
-    for (ServerWorkload w : ws)
-        cols.push_back(workloadName(w));
+    for (const WorkloadRef &w : ws)
+        cols.push_back(w.name());
     ResultValue t = makeTable(
         "PIF predictor coverage vs history size (fraction)", cols);
     ResultValue &rows = *t.find("rows");
@@ -401,7 +401,7 @@ runFig9RightBody(const ExperimentSpec &spec, const RunOptions &opts)
 ResultValue
 runFig10CoverageBody(const ExperimentSpec &spec, const RunOptions &opts)
 {
-    const std::vector<ServerWorkload> ws = workloadsOf(spec, opts);
+    const std::vector<WorkloadRef> ws = workloadsOf(spec, opts);
     const ExperimentBudget budget = budgetOf(spec, opts);
 
     ResultValue t = makeTable(
@@ -411,7 +411,7 @@ runFig10CoverageBody(const ExperimentSpec &spec, const RunOptions &opts)
     ResultValue &rows = *t.find("rows");
     // The inner runner fans one engine per prefetcher over the pool;
     // the workload loop stays serial to avoid nested fan-out.
-    for (ServerWorkload w : ws) {
+    for (const WorkloadRef &w : ws) {
         const auto points = runFig10Coverage(w, budget, opts.cfg);
         double nl = 0.0;
         double tifs = 0.0;
@@ -442,7 +442,7 @@ runFig10CoverageBody(const ExperimentSpec &spec, const RunOptions &opts)
 ResultValue
 runFig10SpeedupBody(const ExperimentSpec &spec, const RunOptions &opts)
 {
-    const std::vector<ServerWorkload> ws = workloadsOf(spec, opts);
+    const std::vector<WorkloadRef> ws = workloadsOf(spec, opts);
     const ExperimentBudget budget = budgetOf(spec, opts);
 
     ResultValue t = makeTable(
@@ -452,7 +452,7 @@ runFig10SpeedupBody(const ExperimentSpec &spec, const RunOptions &opts)
     ResultValue &rows = *t.find("rows");
     double geo_pif = 1.0;
     double geo_perfect = 1.0;
-    for (ServerWorkload w : ws) {
+    for (const WorkloadRef &w : ws) {
         const auto points = runFig10Speedup(w, budget, opts.cfg);
         double base_uipc = 0.0;
         double nl = 0.0;
@@ -510,13 +510,13 @@ runAblationBody(const ExperimentSpec &spec, const RunOptions &opts)
 {
     // Single-workload study: only the first selection runs, and the
     // body reports that back so meta.workloads never over-claims.
-    const ServerWorkload w = workloadsOf(spec, opts).front();
+    const WorkloadRef w = workloadsOf(spec, opts).front();
     const ExperimentBudget budget = budgetOf(spec, opts);
-    const Program prog = buildWorkloadProgram(w);
+    const Program prog = w.buildProgram();
     const SystemConfig &base = opts.cfg;
 
     const auto runPif = [&](const SystemConfig &cfg) {
-        TraceEngine engine(cfg, prog, executorConfigFor(w),
+        TraceEngine engine(cfg, prog, w.executorConfig(),
                            std::make_unique<PifPrefetcher>(cfg.pif));
         return engine.run(budget.warmup, budget.measure);
     };
@@ -532,7 +532,7 @@ runAblationBody(const ExperimentSpec &spec, const RunOptions &opts)
             rs[i] = runPif(cfg);
         });
         ResultValue t = makeTable(
-            "Temporal compactor depth (PIF on " + workloadName(w) + ")",
+            "Temporal compactor depth (PIF on " + w.name() + ")",
             {"entries", "coverage", "issued_per_kinst", "miss_ratio"});
         ResultValue &rows = *t.find("rows");
         for (std::size_t i = 0; i < depths.size(); ++i) {
@@ -630,7 +630,7 @@ runAblationBody(const ExperimentSpec &spec, const RunOptions &opts)
             SystemConfig cfg = base;
             cfg.nextLine.degree = degrees[i];
             TraceEngine engine(
-                cfg, prog, executorConfigFor(w),
+                cfg, prog, w.executorConfig(),
                 std::make_unique<NextLinePrefetcher>(cfg.nextLine));
             rs[i] = engine.run(budget.warmup, budget.measure);
         });
@@ -655,7 +655,7 @@ runAblationBody(const ExperimentSpec &spec, const RunOptions &opts)
     ResultValue body = ResultValue::object();
     body.set("tables", std::move(tables));
     body.set("workloads",
-             ResultValue::array().push(workloadKey(w)));
+             ResultValue::array().push(w.key()));
     return body;
 }
 
@@ -675,7 +675,9 @@ experimentRegistry()
 {
     static const std::vector<ExperimentSpec> registry = [] {
         std::vector<ExperimentSpec> specs;
-        const std::vector<ServerWorkload> all = allServerWorkloads();
+        std::vector<WorkloadRef> all;
+        for (ServerWorkload w : allServerWorkloads())
+            all.push_back(w);
 
         specs.push_back({
             "table1",
@@ -820,8 +822,8 @@ runExperiment(const ExperimentSpec &spec, const RunOptions &opts)
         meta.set("workloads", std::move(*used));
     } else {
         ResultValue workloads = ResultValue::array();
-        for (ServerWorkload w : workloadsOf(spec, opts))
-            workloads.push(workloadKey(w));
+        for (const WorkloadRef &w : workloadsOf(spec, opts))
+            workloads.push(w.key());
         meta.set("workloads", std::move(workloads));
     }
     if (spec.usesConfig)
@@ -981,6 +983,29 @@ gitDescribe()
 
 // ----------------------------------------------------------- goldens
 
+namespace {
+
+/**
+ * Load a zoo spec for the golden suite. The suite must never silently
+ * shrink, so a missing or invalid zoo file is a hard error.
+ */
+WorkloadRef
+zooWorkload(const std::string &key)
+{
+    const auto entry = findZooEntry(key);
+    if (!entry) {
+        panic("golden suite: workload spec '" + key +
+              "' not found under " + workloadZooDir());
+    }
+    std::string err;
+    auto spec = loadWorkloadSpecFile(entry->path, &err);
+    if (!spec)
+        panic("golden suite: " + err);
+    return workloadRefFromSpec(std::move(*spec));
+}
+
+} // namespace
+
 const std::vector<GoldenEntry> &
 goldenSuite()
 {
@@ -1020,9 +1045,33 @@ goldenSuite()
             e.options.budget = small;
             entries.push_back(std::move(e));
         }
+        // Spec-driven runs are locked exactly like the preset ones:
+        // two zoo workloads through two different experiments.
+        {
+            GoldenEntry e;
+            e.experiment = "fig2-streams";
+            e.options.workloads = {zooWorkload("microservice_fanout")};
+            e.options.budget = small;
+            e.fixture = "zoo-microservice-fanout";
+            entries.push_back(std::move(e));
+        }
+        {
+            GoldenEntry e;
+            e.experiment = "fig10-coverage";
+            e.options.workloads = {zooWorkload("cold_start_storm")};
+            e.options.budget = small;
+            e.fixture = "zoo-cold-start-storm";
+            entries.push_back(std::move(e));
+        }
         return entries;
     }();
     return suite;
+}
+
+std::string
+goldenFixtureName(const GoldenEntry &entry)
+{
+    return entry.fixture.empty() ? entry.experiment : entry.fixture;
 }
 
 std::string
@@ -1046,8 +1095,8 @@ goldenJson(const GoldenEntry &entry, unsigned threads)
     meta.set("warmup", budget.warmup);
     meta.set("measure", budget.measure);
     ResultValue workloads = ResultValue::array();
-    for (ServerWorkload w : opts.workloads)
-        workloads.push(workloadKey(w));
+    for (const WorkloadRef &w : opts.workloads)
+        workloads.push(w.key());
     meta.set("workloads", std::move(workloads));
 
     ResultValue doc = ResultValue::object();

@@ -34,14 +34,17 @@
 
 #include "common/results.hh"
 #include "sim/experiment.hh"
+#include "sim/workloads.hh"
 
 namespace pifetch {
 
 /** Options for one registry invocation. */
 struct RunOptions
 {
-    /** Workloads to evaluate; empty means the spec's default set. */
-    std::vector<ServerWorkload> workloads;
+    /** Workloads to evaluate; empty means the spec's default set.
+     *  Presets convert implicitly; spec-file workloads arrive as
+     *  WorkloadRef wrappers (see workloadRefFromSpec). */
+    std::vector<WorkloadRef> workloads;
 
     /**
      * Instruction budget override. Analysis-only studies (Fig. 3, 7,
@@ -60,7 +63,7 @@ struct ExperimentSpec
     std::string name;         //!< registry key, e.g. "fig10-coverage"
     std::string description;  //!< one-line summary for `pifetch list`
     std::string paperShape;   //!< expected qualitative trend (a note)
-    std::vector<ServerWorkload> defaultWorkloads;
+    std::vector<WorkloadRef> defaultWorkloads;
     ExperimentBudget defaultBudget;
 
     /** Produce the document body ("tables", optionally extra keys). */
@@ -121,10 +124,19 @@ struct GoldenEntry
 {
     std::string experiment;  //!< registry key
     RunOptions options;      //!< pinned small-budget options
+    /**
+     * Fixture base name (tests/golden/<fixture>.json). Empty falls
+     * back to the experiment name; entries sharing an experiment
+     * (e.g. a zoo-spec variant) must set a distinct fixture.
+     */
+    std::string fixture;
 };
 
 /** The experiments locked by the golden regression suite. */
 const std::vector<GoldenEntry> &goldenSuite();
+
+/** Fixture base name of an entry (fixture, or the experiment name). */
+std::string goldenFixtureName(const GoldenEntry &entry);
 
 /**
  * Canonical fixture serialization of one golden entry: the document

@@ -5,6 +5,8 @@
 
 #include "sim/workloads.hh"
 
+#include <algorithm>
+
 namespace pifetch {
 
 Program
@@ -27,6 +29,70 @@ ExecutorConfig
 executorConfigFor(ServerWorkload w, std::uint64_t seed_offset)
 {
     return executorConfigFor(workloadParams(w), seed_offset);
+}
+
+ExecutorConfig
+executorConfigFor(const LoweredWorkload &lw, std::uint64_t params_offset,
+                  std::uint64_t exec_offset)
+{
+    ExecutorConfig cfg =
+        executorConfigFor(lw.params(0, params_offset), exec_offset);
+    cfg.interruptRate = lw.blendedInterruptRate();
+    for (const WorkloadSpecProgram &pr : lw.spec.programs)
+        cfg.maxCallDepth =
+            std::max(cfg.maxCallDepth, pr.params.maxCallDepth);
+    cfg.rootSpanSizes = lw.rootSpans();
+    cfg.phases = lw.executorPhases();
+    return cfg;
+}
+
+std::string
+WorkloadRef::key() const
+{
+    return spec_ ? spec_->key() : workloadKey(preset_);
+}
+
+std::string
+WorkloadRef::name() const
+{
+    return spec_ ? spec_->title() : workloadName(preset_);
+}
+
+std::string
+WorkloadRef::group() const
+{
+    return spec_ ? spec_->group() : workloadGroup(preset_);
+}
+
+WorkloadParams
+WorkloadRef::params(std::uint64_t seed_offset) const
+{
+    return spec_ ? spec_->params(0, seed_offset)
+                 : workloadParams(preset_, seed_offset);
+}
+
+Program
+WorkloadRef::buildProgram(std::uint64_t seed_offset) const
+{
+    return spec_ ? spec_->build(seed_offset)
+                 : buildWorkloadProgram(preset_, seed_offset);
+}
+
+ExecutorConfig
+WorkloadRef::executorConfig(std::uint64_t params_offset,
+                            std::uint64_t exec_offset) const
+{
+    if (spec_)
+        return executorConfigFor(*spec_, params_offset, exec_offset);
+    return executorConfigFor(workloadParams(preset_, params_offset),
+                             exec_offset);
+}
+
+WorkloadRef
+workloadRefFromSpec(WorkloadSpec spec)
+{
+    return WorkloadRef(std::make_shared<const LoweredWorkload>(
+        lowerWorkloadSpec(std::move(spec))));
 }
 
 } // namespace pifetch

@@ -9,31 +9,138 @@
 
 namespace pifetch {
 
+namespace {
+
+/** Index of the first CDF entry >= u, clamped into range. */
+std::size_t
+cdfPick(const std::vector<double> &cdf, double u)
+{
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    return static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - cdf.begin(),
+                                 static_cast<std::ptrdiff_t>(
+                                     cdf.size() - 1)));
+}
+
+/** Normalize weights into a cumulative distribution. */
+std::vector<double>
+makeCdf(const double *w, std::size_t n)
+{
+    std::vector<double> cdf;
+    cdf.reserve(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sum += w[i];
+        cdf.push_back(sum);
+    }
+    if (sum <= 0.0)
+        panic("executor: non-positive weight sum");
+    for (double &c : cdf)
+        c /= sum;
+    return cdf;
+}
+
+} // namespace
+
 Executor::Executor(const Program &prog, const ExecutorConfig &cfg)
     : prog_(prog), cfg_(cfg), rng_(cfg.seed)
 {
     cur_ = Pos{prog_.dispatcher, 0, 0};
+    curIr_ = cfg_.interruptRate;
 
-    double sum = 0.0;
-    rootCdf_.reserve(prog_.transactionWeights.size());
-    for (double w : prog_.transactionWeights) {
-        sum += w;
-        rootCdf_.push_back(sum);
+    rootCdf_ = makeCdf(prog_.transactionWeights.data(),
+                       prog_.transactionWeights.size());
+
+    if (!cfg_.phases.empty())
+        buildSchedule();
+}
+
+void
+Executor::buildSchedule()
+{
+    // Spans: one per program part of a linked multi-program workload.
+    std::vector<std::uint32_t> spans = cfg_.rootSpanSizes;
+    if (spans.empty())
+        spans.push_back(static_cast<std::uint32_t>(
+            prog_.transactionRoots.size()));
+    std::uint64_t covered = 0;
+    for (std::uint32_t n : spans)
+        covered += n;
+    if (covered != prog_.transactionRoots.size())
+        panic("executor: rootSpanSizes do not cover transaction roots");
+
+    std::uint32_t base = 0;
+    for (std::uint32_t n : spans) {
+        if (n == 0)
+            panic("executor: empty root span");
+        spanStart_.push_back(base);
+        spanCdf_.push_back(
+            makeCdf(prog_.transactionWeights.data() + base, n));
+        base += n;
     }
-    for (double &c : rootCdf_)
-        c /= sum;
+
+    for (const ExecutorPhase &ph : cfg_.phases) {
+        if (ph.instructions == 0)
+            panic("executor: phase with zero instructions");
+        std::vector<double> mix = ph.programMix;
+        if (mix.empty())
+            mix.assign(spans.size(), 1.0);
+        if (mix.size() != spans.size())
+            panic("executor: phase mix size != program parts");
+        phaseProgCdf_.push_back(makeCdf(mix.data(), mix.size()));
+
+        // Ramped phases approximate the linear interrupt-rate sweep
+        // with a few constant-rate segments; constant phases are one
+        // segment. Segment length stays >= 1 instruction.
+        const bool ramp = ph.interruptRateEnd >= 0.0 &&
+                          ph.interruptRateEnd != ph.interruptRate;
+        const InstCount nseg =
+            ramp ? std::min<InstCount>(8, ph.instructions) : 1;
+        const std::uint32_t phase_idx =
+            static_cast<std::uint32_t>(phaseProgCdf_.size() - 1);
+        for (InstCount k = 0; k < nseg; ++k) {
+            Segment seg;
+            seg.len = ph.instructions / nseg +
+                      (k + 1 == nseg ? ph.instructions % nseg : 0);
+            seg.interruptRate =
+                nseg == 1 ? ph.interruptRate
+                          : ph.interruptRate +
+                                (ph.interruptRateEnd - ph.interruptRate) *
+                                    static_cast<double>(k) /
+                                    static_cast<double>(nseg - 1);
+            seg.phase = phase_idx;
+            schedule_.push_back(seg);
+        }
+    }
+
+    phased_ = true;
+    segIdx_ = 0;
+    curIr_ = schedule_[0].interruptRate;
+    phaseTick_ = schedule_[0].len;
+}
+
+void
+Executor::advanceSegment()
+{
+    segIdx_ = (segIdx_ + 1) % schedule_.size();
+    const Segment &seg = schedule_[segIdx_];
+    curIr_ = seg.interruptRate;
+    phaseTick_ += seg.len;
 }
 
 std::uint32_t
 Executor::pickRoot()
 {
-    const double u = rng_.uniform();
-    const auto it = std::lower_bound(rootCdf_.begin(), rootCdf_.end(), u);
-    const std::size_t idx = static_cast<std::size_t>(
-        std::min<std::ptrdiff_t>(it - rootCdf_.begin(),
-                                 static_cast<std::ptrdiff_t>(
-                                     rootCdf_.size() - 1)));
-    return prog_.transactionRoots[idx];
+    if (!phased_)
+        return prog_.transactionRoots[cdfPick(rootCdf_, rng_.uniform())];
+
+    // Two-level draw: phase mix selects the program part, then the
+    // part's own transaction weights select the root within its span.
+    const std::vector<double> &mix =
+        phaseProgCdf_[schedule_[segIdx_].phase];
+    const std::size_t part = cdfPick(mix, rng_.uniform());
+    const std::size_t idx = cdfPick(spanCdf_[part], rng_.uniform());
+    return prog_.transactionRoots[spanStart_[part] + idx];
 }
 
 std::uint32_t
@@ -137,9 +244,13 @@ Executor::emitTerminator(const BasicBlock &blk)
 RetiredInstr
 Executor::next()
 {
+    // Phase schedule: one predictable compare per instruction; the
+    // sentinel phaseTick_ keeps unphased runs from ever taking it.
+    if (retired_ >= phaseTick_)
+        advanceSegment();
+
     // Spontaneous interrupt delivery: only at TL0, between instructions.
-    if (tl_ == 0 && cfg_.interruptRate > 0.0 &&
-        rng_.chance(cfg_.interruptRate)) {
+    if (tl_ == 0 && curIr_ > 0.0 && rng_.chance(curIr_)) {
         ++interrupts_;
         savedCur_ = cur_;
         trapStackBase_ = stack_.size();

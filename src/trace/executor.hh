@@ -24,6 +24,32 @@
 
 namespace pifetch {
 
+/**
+ * One phase of a phased (workload-spec driven) execution schedule.
+ *
+ * Phases partition the retire stream into instruction-budgeted windows
+ * with their own transaction mix and interrupt load; the schedule
+ * cycles forever, so a spec describes one period of the workload.
+ */
+struct ExecutorPhase
+{
+    /** Retired instructions spent in this phase per cycle. */
+    InstCount instructions = 1'000'000;
+    /**
+     * Relative dispatch weight per program part (see
+     * ExecutorConfig::rootSpanSizes). Empty means uniform across parts.
+     */
+    std::vector<double> programMix;
+    /** Interrupt rate at the start of the phase. */
+    double interruptRate = 0.0;
+    /**
+     * Interrupt rate at the end of the phase: the executor ramps
+     * linearly between the two across the phase. Negative means
+     * constant at @ref interruptRate.
+     */
+    double interruptRateEnd = -1.0;
+};
+
 /** Runtime knobs for the executor. */
 struct ExecutorConfig
 {
@@ -33,6 +59,20 @@ struct ExecutorConfig
     double interruptRate = 0.0;
     /** Call depth at which further calls are elided. */
     unsigned maxCallDepth = 24;
+    /**
+     * Partition of the program's transaction roots into per-program
+     * spans (linked multi-program workloads): span p covers the next
+     * rootSpanSizes[p] roots. Empty means one span covering all roots.
+     * Only consulted when @ref phases is non-empty.
+     */
+    std::vector<std::uint32_t> rootSpanSizes;
+    /**
+     * Phase schedule. Empty (the default) preserves the classic
+     * single-mix behavior bit for bit; non-empty switches dispatch to
+     * a two-level draw (phase mix over spans, then weights within the
+     * span) and makes the interrupt rate phase-dependent.
+     */
+    std::vector<ExecutorPhase> phases;
 };
 
 /**
@@ -96,6 +136,12 @@ class Executor
     /** Emit the terminator instruction of the current block. */
     RetiredInstr emitTerminator(const BasicBlock &blk);
 
+    /** Precompute the flattened phase/ramp schedule (phased mode). */
+    void buildSchedule();
+
+    /** Step to the next schedule segment (wraps forever). */
+    void advanceSegment();
+
     const Program &prog_;
     ExecutorConfig cfg_;
     Rng rng_;
@@ -108,6 +154,29 @@ class Executor
     std::size_t trapStackBase_ = 0;
 
     std::vector<double> rootCdf_;  //!< cumulative transaction weights
+
+    /**
+     * Phased-mode state. A Segment is one constant-rate slice of a
+     * phase (ramped phases are split into several); the schedule is
+     * the concatenation of every phase's segments, cycled forever.
+     * When unphased, phaseTick_ stays at its never-reached sentinel
+     * and curIr_ mirrors cfg_.interruptRate, so the hot path pays one
+     * predictable compare per instruction.
+     */
+    struct Segment
+    {
+        InstCount len = 0;          //!< instructions in this segment
+        double interruptRate = 0.0;
+        std::uint32_t phase = 0;    //!< owning phase index
+    };
+    bool phased_ = false;
+    std::vector<std::uint32_t> spanStart_;      //!< first root of span p
+    std::vector<std::vector<double>> spanCdf_;  //!< per-span root CDF
+    std::vector<std::vector<double>> phaseProgCdf_;  //!< per-phase span CDF
+    std::vector<Segment> schedule_;
+    std::size_t segIdx_ = 0;
+    InstCount phaseTick_ = ~InstCount{0};  //!< retired_ bound of segment
+    double curIr_ = 0.0;                   //!< active interrupt rate
 
     InstCount retired_ = 0;
     std::uint64_t interrupts_ = 0;

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Declarative JSON workload specifications.
+ *
+ * A WorkloadSpec describes a workload in data instead of code: one or
+ * more generator programs (optionally derived from a server preset),
+ * plus an optional list of named phases giving per-phase instruction
+ * budgets, program mixes and interrupt-load ramps. Specs lower onto
+ * the existing WorkloadParams / WorkloadGenerator / Executor pipeline:
+ * every program is validated through validateWorkloadParams so the
+ * fuzzer's bounds (src/check/) stay the single source of truth for
+ * what is simulable, and multi-program specs are linked into one flat
+ * Program whose transaction-root spans the executor's phase schedule
+ * dispatches over.
+ *
+ * The JSON surface is strict: unknown keys and wrong kinds are
+ * rejected with a message naming the offending member, and
+ * serialization (specToResult) emits the fully resolved canonical
+ * form, so parse -> serialize is idempotent. The `workloads/` zoo at
+ * the repository root holds curated specs; docs/workloads.md is the
+ * schema reference.
+ */
+
+#ifndef PIFETCH_TRACE_WORKLOAD_SPEC_HH
+#define PIFETCH_TRACE_WORKLOAD_SPEC_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/results.hh"
+#include "trace/executor.hh"
+#include "trace/generator.hh"
+#include "trace/program.hh"
+
+namespace pifetch {
+
+/** One generator program of a spec, with fully resolved parameters. */
+struct WorkloadSpecProgram
+{
+    /** Program name, unique within the spec. */
+    std::string name;
+    /** Server-preset key the params were based on ("" = defaults). */
+    std::string base;
+    /**
+     * Resolved generator parameters: preset/default values with the
+     * spec's overrides applied. params.name mirrors the program name.
+     */
+    WorkloadParams params;
+};
+
+/** One phase of a spec's execution schedule. */
+struct WorkloadSpecPhase
+{
+    /** Phase name, unique within the spec. */
+    std::string name;
+    /** Retired-instruction budget of the phase per schedule cycle. */
+    InstCount instructions = 0;
+    /**
+     * Program mix as (program name, weight) pairs. Empty means uniform
+     * across all programs of the spec.
+     */
+    std::vector<std::pair<std::string, double>> mix;
+    /** Interrupt rate at phase start; negative inherits the blend. */
+    double interruptRate = -1.0;
+    /** Interrupt rate at phase end (linear ramp); negative = constant. */
+    double interruptRateEnd = -1.0;
+};
+
+/**
+ * A declarative workload: programs plus an optional phase schedule.
+ */
+struct WorkloadSpec
+{
+    /** Spec key (slug: lowercase letters, digits, '-' and '_'). */
+    std::string name;
+    /** Human-readable title; defaults to the key. */
+    std::string title;
+    /** Reporting group (presets use OLTP/DSS/Web). */
+    std::string group = "Zoo";
+    /** Free-form description shown by `pifetch list`. */
+    std::string description;
+    /** Master seed; per-program seeds derive from it when not set. */
+    std::uint64_t seed = 1;
+    /** Generator programs (1..8). */
+    std::vector<WorkloadSpecProgram> programs;
+    /** Phase schedule (0..16 phases); empty = steady state. */
+    std::vector<WorkloadSpecPhase> phases;
+};
+
+/** Bounds enforced on specs beyond validateWorkloadParams. */
+constexpr std::size_t specMaxPrograms = 8;
+constexpr std::size_t specMaxPhases = 16;
+constexpr InstCount specMinPhaseInstrs = 1'000;
+constexpr InstCount specMaxPhaseInstrs = 1'000'000'000;
+
+/**
+ * Validate a spec: slug well-formed, program/phase counts in range,
+ * names unique, every program accepted by validateWorkloadParams,
+ * phase budgets inside [specMinPhaseInstrs, specMaxPhaseInstrs], mix
+ * entries referencing existing programs with finite non-negative
+ * weights (positive sum), and interrupt rates inside the generator's
+ * [0, 0.01] bound.
+ *
+ * @return nullopt when valid, else a description of the first
+ *         violation.
+ */
+std::optional<std::string> validateWorkloadSpec(const WorkloadSpec &spec);
+
+/** Serialize a spec in canonical resolved form. */
+ResultValue specToResult(const WorkloadSpec &spec);
+
+/**
+ * Strictly decode a spec from a parsed JSON document: unknown keys,
+ * wrong kinds, and missing required members fail with a message.
+ * The result is validated with validateWorkloadSpec before returning.
+ */
+std::optional<WorkloadSpec> workloadSpecFromResult(const ResultValue &doc,
+                                                   std::string *err);
+
+/** Parse + decode + validate a spec from JSON text. */
+std::optional<WorkloadSpec> parseWorkloadSpec(const std::string &text,
+                                              std::string *err);
+
+/** Load a spec from a JSON file (errors include the path). */
+std::optional<WorkloadSpec> loadWorkloadSpecFile(const std::string &path,
+                                                 std::string *err);
+
+/**
+ * Link several generated Programs into one flat address space:
+ * block-aligned relocation per part, function indices offset, part 0's
+ * dispatcher kept, roots/weights/handlers concatenated in part order.
+ * The merged program passes Program::validate().
+ */
+Program linkPrograms(const std::vector<Program> &parts);
+
+/**
+ * A spec lowered to the generator/executor pipeline.
+ *
+ * Lowering is deterministic: the same spec and seed offset always
+ * produce the same linked Program and executor schedule.
+ */
+struct LoweredWorkload
+{
+    WorkloadSpec spec;
+
+    /** Spec key / title / reporting group. */
+    const std::string &key() const { return spec.name; }
+    const std::string &title() const { return spec.title; }
+    const std::string &group() const { return spec.group; }
+
+    /**
+     * Generator parameters of program @p idx with the preset-style
+     * seed fold applied for @p seed_offset (multicore variation).
+     */
+    WorkloadParams params(std::size_t idx,
+                          std::uint64_t seed_offset = 0) const;
+
+    /** Build, link and validate the spec's Program. */
+    Program build(std::uint64_t seed_offset = 0) const;
+
+    /** Transaction roots contributed per program (executor spans). */
+    std::vector<std::uint32_t> rootSpans() const;
+
+    /**
+     * The executor phase schedule with inherited interrupt rates
+     * resolved. Single-program specs without phases return an empty
+     * schedule (classic bit-identical dispatch); multi-program specs
+     * without phases get one synthetic uniform steady-state phase.
+     */
+    std::vector<ExecutorPhase> executorPhases() const;
+
+    /** Blended (mix-weighted) base interrupt rate across programs. */
+    double blendedInterruptRate() const;
+};
+
+/**
+ * Lower a validated spec. Panics if the spec does not validate; call
+ * validateWorkloadSpec (or the parse helpers, which do) first.
+ */
+LoweredWorkload lowerWorkloadSpec(WorkloadSpec spec);
+
+/**
+ * Directory scanned for zoo specs: $PIFETCH_WORKLOAD_DIR when set,
+ * else the compiled-in source `workloads/` directory, else the
+ * relative path "workloads".
+ */
+std::string workloadZooDir();
+
+/** A zoo entry: spec key plus the file it loads from. */
+struct WorkloadZooEntry
+{
+    std::string key;
+    std::string path;
+    std::string title;
+    std::string description;
+};
+
+/**
+ * Enumerate valid specs under workloadZooDir(), sorted by key.
+ * Unreadable or invalid files are skipped (the CI smoke job loads
+ * every file individually to catch those).
+ */
+std::vector<WorkloadZooEntry> workloadZoo();
+
+/** Find a zoo entry by spec key (nullopt when absent). */
+std::optional<WorkloadZooEntry> findZooEntry(const std::string &key);
+
+} // namespace pifetch
+
+#endif // PIFETCH_TRACE_WORKLOAD_SPEC_HH

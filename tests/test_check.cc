@@ -111,6 +111,67 @@ TEST(Scenario, ParserRejectsMalformedDocuments)
     EXPECT_FALSE(err.empty());
 }
 
+TEST(Scenario, SpecSeedsEmitValidSpecScenarios)
+{
+    // A fifth of the seed space fuzzes the declarative spec layer;
+    // the other four fifths must stay plain-params scenarios (their
+    // draws predate the spec layer and are replay-locked).
+    unsigned spec_count = 0;
+    for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+        const Scenario sc = scenarioFromSeed(seed);
+        if (seed % 5 == 3) {
+            ASSERT_NE(sc.spec, nullptr) << "seed " << seed;
+            const auto err = validateWorkloadSpec(*sc.spec);
+            EXPECT_FALSE(err.has_value())
+                << "seed " << seed << ": " << err.value_or("");
+            EXPECT_GE(sc.spec->programs.size(), 1u);
+            EXPECT_LE(sc.spec->programs.size(), 2u);
+            EXPECT_GE(sc.spec->phases.size(), 1u);
+            EXPECT_LE(sc.spec->phases.size(), 3u);
+            for (const WorkloadSpecPhase &ph : sc.spec->phases) {
+                EXPECT_GE(ph.instructions, 2'000u);
+                EXPECT_LE(ph.instructions, 200'000u);
+            }
+            ++spec_count;
+        } else {
+            EXPECT_EQ(sc.spec, nullptr) << "seed " << seed;
+        }
+    }
+    EXPECT_EQ(spec_count, 10u);
+}
+
+TEST(Scenario, SpecScenarioJsonRoundTripIsExact)
+{
+    for (const std::uint64_t seed : {3ull, 8ull, 23ull}) {
+        const Scenario sc = scenarioFromSeed(seed);
+        ASSERT_NE(sc.spec, nullptr);
+        const std::string json = toJson(toResult(sc), 2);
+        std::string err;
+        const auto doc = parseJson(json, &err);
+        ASSERT_TRUE(doc.has_value()) << err;
+        const auto parsed = scenarioFromResult(*doc, &err);
+        ASSERT_TRUE(parsed.has_value()) << err;
+        ASSERT_NE(parsed->spec, nullptr);
+        EXPECT_EQ(toJson(toResult(*parsed), 2), json);
+    }
+}
+
+TEST(Scenario, ParserRejectsCorruptSpecMember)
+{
+    // Spec decoding is strict: a corrupted spec must refuse to
+    // replay, not silently fall back to the params workload.
+    std::string err;
+    ResultValue bad = toResult(scenarioFromSeed(3));
+    bad.find("workload_spec")->set("programs", "gone");
+    EXPECT_FALSE(scenarioFromResult(bad, &err).has_value());
+    EXPECT_FALSE(err.empty());
+
+    bad = toResult(scenarioFromSeed(3));
+    bad.find("workload_spec")->set("surprise", 1);
+    EXPECT_FALSE(scenarioFromResult(bad, &err).has_value());
+    EXPECT_NE(err.find("unknown key"), std::string::npos) << err;
+}
+
 TEST(Scenario, PrefetcherKeysRoundTrip)
 {
     for (const PrefetcherKind k :
@@ -461,6 +522,58 @@ TEST(Shrinker, PlantedViolationShrinksToCanonicalMinimum)
     // the identical scenario.
     const Scenario min2 = shrinkScenario(sc, still, nullptr);
     EXPECT_EQ(toJson(toResult(min1), 0), toJson(toResult(min2), 0));
+}
+
+TEST(Shrinker, SpecScenarioShrinksToCanonicalMinimalSpec)
+{
+    // The spec-mode twin of PlantedViolationShrinksToCanonicalMinimum:
+    // a fault that fails everywhere must drive the shrink into spec
+    // coordinates — schedule dropped, one program left, its params at
+    // the same floors as the plain shrink.
+    Scenario sc = scenarioFromSeed(3);
+    ASSERT_NE(sc.spec, nullptr);
+    sc.warmup = 2'000;
+    sc.measure = 8'000;
+
+    const auto still = [](const Scenario &cand) {
+        for (const CheckFailure &f :
+             runScenario(cand, FaultInjection::DegreeMiscount)) {
+            if (f.invariant == "nextline-degree-monotone")
+                return true;
+        }
+        return false;
+    };
+
+    unsigned steps = 0;
+    const Scenario min1 = shrinkScenario(sc, still, &steps);
+    EXPECT_GT(steps, 0u);
+    ASSERT_NE(min1.spec, nullptr);  // never shrinks out of spec space
+    EXPECT_TRUE(min1.spec->phases.empty());
+    ASSERT_EQ(min1.spec->programs.size(), 1u);
+    const WorkloadParams &p = min1.spec->programs[0].params;
+    EXPECT_EQ(p.appFunctions, 40u);
+    EXPECT_EQ(p.libFunctions, 8u);
+    EXPECT_EQ(p.handlers, 4u);
+    EXPECT_EQ(p.transactions, 2u);
+    EXPECT_EQ(p.interruptRate, 0.0);
+    EXPECT_EQ(p.loopsPerFunction, 0.0);
+    EXPECT_EQ(p.callLayers, 2u);
+    EXPECT_EQ(p.maxCallDepth, 6u);
+    EXPECT_EQ(min1.measure, 4'000u);
+    EXPECT_EQ(min1.warmup, 0u);
+    EXPECT_EQ(min1.threads, 1u);
+    EXPECT_EQ(min1.cores, 1u);
+    EXPECT_EQ(min1.kind, PrefetcherKind::None);
+    EXPECT_TRUE(still(min1));
+    EXPECT_FALSE(validateScenario(min1).has_value());
+
+    // Deterministic, and the canonical point replays through JSON.
+    const Scenario min2 = shrinkScenario(sc, still, nullptr);
+    EXPECT_EQ(toJson(toResult(min1), 0), toJson(toResult(min2), 0));
+    std::string err;
+    const auto replayed = scenarioFromResult(toResult(min1), &err);
+    ASSERT_TRUE(replayed.has_value()) << err;
+    EXPECT_EQ(toJson(toResult(*replayed), 0), toJson(toResult(min1), 0));
 }
 
 TEST(Shrinker, AcceptsOnlyMovesThatKeepTheFailure)

@@ -17,6 +17,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -32,7 +33,7 @@ namespace {
 std::string
 fixturePath(const GoldenEntry &e)
 {
-    return std::string(PIFETCH_GOLDEN_DIR) + "/" + e.experiment +
+    return std::string(PIFETCH_GOLDEN_DIR) + "/" + goldenFixtureName(e) +
            ".json";
 }
 
@@ -85,14 +86,31 @@ TEST(GoldenSuite, CoversTheIssueExperiments)
     bool cov = false;
     bool speed = false;
     for (const GoldenEntry &e : goldenSuite()) {
-        fig2 |= e.experiment == "fig2-streams";
-        fig9 |= e.experiment == "fig9-history";
-        cov |= e.experiment == "fig10-coverage";
-        speed |= e.experiment == "fig10-speedup";
+        fig2 |= goldenFixtureName(e) == "fig2-streams";
+        fig9 |= goldenFixtureName(e) == "fig9-history";
+        cov |= goldenFixtureName(e) == "fig10-coverage";
+        speed |= goldenFixtureName(e) == "fig10-speedup";
         ASSERT_NE(findExperiment(e.experiment), nullptr)
             << e.experiment;
     }
     EXPECT_TRUE(fig2 && fig9 && cov && speed);
+}
+
+TEST(GoldenSuite, CoversTheWorkloadZoo)
+{
+    // The spec-driven fixtures lock the declarative-workload pipeline
+    // (lower -> link -> phase schedule) end to end; fixture names must
+    // stay unique or two entries would race on one file.
+    bool fanout = false;
+    bool storm = false;
+    std::set<std::string> names;
+    for (const GoldenEntry &e : goldenSuite()) {
+        fanout |= goldenFixtureName(e) == "zoo-microservice-fanout";
+        storm |= goldenFixtureName(e) == "zoo-cold-start-storm";
+        EXPECT_TRUE(names.insert(goldenFixtureName(e)).second)
+            << "duplicate fixture name " << goldenFixtureName(e);
+    }
+    EXPECT_TRUE(fanout && storm);
 }
 
 TEST(GoldenSuite, MatchesFixturesAtOneAndFourThreads)

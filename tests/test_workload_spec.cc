@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Workload-spec tests: strict JSON decode/serialize round trips,
+ * lowering determinism (and preset identity), program linking, the
+ * malformed-spec negative battery and the committed workload zoo.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/digest.hh"
+#include "sim/workloads.hh"
+#include "trace/workload_spec.hh"
+
+namespace pifetch {
+namespace {
+
+/** A spec exercising every JSON member at least once. */
+const char *const kRichSpec = R"({
+  "name": "rich_spec",
+  "title": "Rich spec",
+  "group": "Test",
+  "description": "every member populated",
+  "seed": 12345,
+  "programs": [
+    {
+      "name": "front",
+      "base": "apache",
+      "params": {
+        "seed": 42,
+        "appFunctions": 500,
+        "libFunctions": 60,
+        "handlers": 6,
+        "meanFnBlocks": 5.5,
+        "maxFnBlocks": 24,
+        "meanHandlerBlocks": 3.0,
+        "meanBasicBlockInstrs": 6.0,
+        "callDensity": 0.08,
+        "meanAppCalls": 1.5,
+        "condDensity": 0.2,
+        "jumpDensity": 0.03,
+        "biasedFraction": 0.8,
+        "dataDepLo": 0.25,
+        "dataDepHi": 0.7,
+        "loopsPerFunction": 0.5,
+        "meanLoopIter": 8.0,
+        "zipfS": 0.6,
+        "callLayers": 4,
+        "transactions": 3,
+        "interruptRate": 0.0001,
+        "maxCallDepth": 20
+      }
+    },
+    {"name": "back", "base": "db2"}
+  ],
+  "phases": [
+    {
+      "name": "mixed",
+      "instructions": 30000,
+      "mix": {"front": 3.0, "back": 1.0},
+      "interruptRate": 0.0002,
+      "interruptRateEnd": 0.0004
+    },
+    {"name": "steady", "instructions": 50000}
+  ]
+})";
+
+std::string
+canon(const WorkloadSpec &spec)
+{
+    return toJson(specToResult(spec), 2);
+}
+
+/** Digest of the first @p n retired instructions. */
+std::uint64_t
+streamDigest(const Program &prog, const ExecutorConfig &cfg,
+             InstCount n)
+{
+    Executor exec(prog, cfg);
+    StreamDigest d;
+    exec.run(n, [&](const RetiredInstr &ri) {
+        d.add(ri.pc);
+        d.add(ri.target);
+        d.add(static_cast<std::uint64_t>(ri.kind) << 8 |
+              static_cast<std::uint64_t>(ri.trapLevel) << 1 |
+              (ri.taken ? 1 : 0));
+    });
+    return d.value();
+}
+
+// -------------------------------------------------------- round trips
+
+TEST(WorkloadSpec, DecodesEveryField)
+{
+    std::string err;
+    const auto spec = parseWorkloadSpec(kRichSpec, &err);
+    ASSERT_TRUE(spec.has_value()) << err;
+
+    EXPECT_EQ(spec->name, "rich_spec");
+    EXPECT_EQ(spec->title, "Rich spec");
+    EXPECT_EQ(spec->group, "Test");
+    EXPECT_EQ(spec->description, "every member populated");
+    EXPECT_EQ(spec->seed, 12345u);
+
+    ASSERT_EQ(spec->programs.size(), 2u);
+    const WorkloadParams &p = spec->programs[0].params;
+    EXPECT_EQ(spec->programs[0].name, "front");
+    EXPECT_EQ(spec->programs[0].base, "apache");
+    EXPECT_EQ(p.name, "front");  // program name mirrors into params
+    EXPECT_EQ(p.seed, 42u);
+    EXPECT_EQ(p.appFunctions, 500u);
+    EXPECT_EQ(p.libFunctions, 60u);
+    EXPECT_EQ(p.handlers, 6u);
+    EXPECT_DOUBLE_EQ(p.meanFnBlocks, 5.5);
+    EXPECT_EQ(p.maxFnBlocks, 24u);
+    EXPECT_DOUBLE_EQ(p.meanHandlerBlocks, 3.0);
+    EXPECT_DOUBLE_EQ(p.meanBasicBlockInstrs, 6.0);
+    EXPECT_DOUBLE_EQ(p.callDensity, 0.08);
+    EXPECT_DOUBLE_EQ(p.meanAppCalls, 1.5);
+    EXPECT_DOUBLE_EQ(p.condDensity, 0.2);
+    EXPECT_DOUBLE_EQ(p.jumpDensity, 0.03);
+    EXPECT_DOUBLE_EQ(p.biasedFraction, 0.8);
+    EXPECT_DOUBLE_EQ(p.dataDepLo, 0.25);
+    EXPECT_DOUBLE_EQ(p.dataDepHi, 0.7);
+    EXPECT_DOUBLE_EQ(p.loopsPerFunction, 0.5);
+    EXPECT_DOUBLE_EQ(p.meanLoopIter, 8.0);
+    EXPECT_DOUBLE_EQ(p.zipfS, 0.6);
+    EXPECT_EQ(p.callLayers, 4u);
+    EXPECT_EQ(p.transactions, 3u);
+    EXPECT_DOUBLE_EQ(p.interruptRate, 0.0001);
+    EXPECT_EQ(p.maxCallDepth, 20u);
+
+    // An override-free program resolves to its preset's params.
+    EXPECT_EQ(spec->programs[1].base, "db2");
+    EXPECT_EQ(spec->programs[1].params.seed,
+              workloadParams(ServerWorkload::OltpDb2).seed);
+    EXPECT_EQ(spec->programs[1].params.name, "back");
+
+    ASSERT_EQ(spec->phases.size(), 2u);
+    const WorkloadSpecPhase &ph = spec->phases[0];
+    EXPECT_EQ(ph.name, "mixed");
+    EXPECT_EQ(ph.instructions, 30'000u);
+    ASSERT_EQ(ph.mix.size(), 2u);
+    EXPECT_EQ(ph.mix[0].first, "front");
+    EXPECT_DOUBLE_EQ(ph.mix[0].second, 3.0);
+    EXPECT_DOUBLE_EQ(ph.interruptRate, 0.0002);
+    EXPECT_DOUBLE_EQ(ph.interruptRateEnd, 0.0004);
+    // Absent rates inherit (negative sentinel), absent mix = uniform.
+    EXPECT_LT(spec->phases[1].interruptRate, 0.0);
+    EXPECT_LT(spec->phases[1].interruptRateEnd, 0.0);
+    EXPECT_TRUE(spec->phases[1].mix.empty());
+}
+
+TEST(WorkloadSpec, CanonicalSerializationIsIdempotent)
+{
+    std::string err;
+    const auto spec = parseWorkloadSpec(kRichSpec, &err);
+    ASSERT_TRUE(spec.has_value()) << err;
+
+    // parse -> serialize -> parse -> serialize is a fixed point.
+    const std::string one = canon(*spec);
+    const auto again = parseWorkloadSpec(one, &err);
+    ASSERT_TRUE(again.has_value()) << err;
+    EXPECT_EQ(canon(*again), one);
+}
+
+TEST(WorkloadSpec, DefaultsApplyWhenMembersAbsent)
+{
+    std::string err;
+    const auto spec = parseWorkloadSpec(
+        R"({"name": "tiny", "programs": [{"name": "a", "base": "zeus"}]})",
+        &err);
+    ASSERT_TRUE(spec.has_value()) << err;
+    EXPECT_EQ(spec->title, "tiny");  // title defaults to the key
+    EXPECT_EQ(spec->group, "Zoo");
+    EXPECT_TRUE(spec->phases.empty());
+
+    // Seedless bespoke programs derive distinct per-program seeds.
+    const auto bespoke = parseWorkloadSpec(
+        R"({"name": "two", "seed": 9, "programs": [
+            {"name": "a"}, {"name": "b"}]})",
+        &err);
+    ASSERT_TRUE(bespoke.has_value()) << err;
+    EXPECT_NE(bespoke->programs[0].params.seed,
+              bespoke->programs[1].params.seed);
+}
+
+// ----------------------------------------------------------- lowering
+
+TEST(WorkloadSpec, LoweringIsDeterministic)
+{
+    std::string err;
+    const auto spec = parseWorkloadSpec(kRichSpec, &err);
+    ASSERT_TRUE(spec.has_value()) << err;
+
+    const LoweredWorkload a = lowerWorkloadSpec(*spec);
+    const LoweredWorkload b = lowerWorkloadSpec(*spec);
+    const Program pa = a.build();
+    const Program pb = b.build();
+    ASSERT_EQ(pa.footprintBytes(), pb.footprintBytes());
+    ASSERT_EQ(pa.transactionRoots, pb.transactionRoots);
+
+    // Same spec + same seed => byte-identical retire stream.
+    EXPECT_EQ(streamDigest(pa, executorConfigFor(a), 20'000),
+              streamDigest(pb, executorConfigFor(b), 20'000));
+
+    // A different seed offset changes the stream (no accidental
+    // seed-fold collapse across cores).
+    EXPECT_NE(streamDigest(a.build(1), executorConfigFor(a, 1, 1),
+                           20'000),
+              streamDigest(pa, executorConfigFor(a), 20'000));
+}
+
+TEST(WorkloadSpec, BaseOnlySpecMatchesItsPresetBitForBit)
+{
+    // A single-program spec that only names a preset must lower to
+    // the preset's exact Program and executor behavior: the spec
+    // layer adds nothing when nothing is specified.
+    std::string err;
+    const auto spec = parseWorkloadSpec(
+        R"({"name": "just_db2", "programs": [
+            {"name": "db2prog", "base": "db2"}]})",
+        &err);
+    ASSERT_TRUE(spec.has_value()) << err;
+    const LoweredWorkload lw = lowerWorkloadSpec(*spec);
+
+    const Program from_spec = lw.build();
+    const Program preset =
+        buildWorkloadProgram(ServerWorkload::OltpDb2);
+    ASSERT_EQ(from_spec.footprintBytes(), preset.footprintBytes());
+    ASSERT_EQ(from_spec.transactionRoots, preset.transactionRoots);
+
+    const ExecutorConfig spec_cfg = executorConfigFor(lw);
+    EXPECT_TRUE(spec_cfg.phases.empty());  // classic dispatch path
+    EXPECT_EQ(streamDigest(from_spec, spec_cfg, 50'000),
+              streamDigest(preset,
+                           executorConfigFor(
+                               ServerWorkload::OltpDb2),
+                           50'000));
+}
+
+TEST(WorkloadSpec, LinkedProgramsValidateAndPartitionRoots)
+{
+    std::string err;
+    const auto spec = parseWorkloadSpec(kRichSpec, &err);
+    ASSERT_TRUE(spec.has_value()) << err;
+    const LoweredWorkload lw = lowerWorkloadSpec(*spec);
+
+    const Program merged = lw.build();  // build() validates
+    const std::vector<std::uint32_t> spans = lw.rootSpans();
+    ASSERT_EQ(spans.size(), 2u);
+    std::size_t total = 0;
+    for (const std::uint32_t s : spans) {
+        EXPECT_GT(s, 0u);
+        total += s;
+    }
+    EXPECT_EQ(total, merged.transactionRoots.size());
+
+    // Linking keeps one dispatcher but must still grow the image
+    // beyond either standalone part.
+    const Program part0 = WorkloadGenerator::build(lw.params(0));
+    const Program part1 = WorkloadGenerator::build(lw.params(1));
+    EXPECT_GT(merged.footprintBytes(), part0.footprintBytes());
+    EXPECT_GT(merged.footprintBytes(), part1.footprintBytes());
+}
+
+TEST(WorkloadSpec, PhaseMixSteersDispatch)
+{
+    // Two specs differing only in their phase mix must produce
+    // different retire streams: the two-level dispatch actually
+    // consults the mix.
+    const char *const tmpl = R"({
+      "name": "mix_probe",
+      "seed": 5,
+      "programs": [{"name": "a", "base": "db2"},
+                    {"name": "b", "base": "zeus"}],
+      "phases": [{"name": "p", "instructions": 10000,
+                   "mix": {"a": %s, "b": %s}}]
+    })";
+    char buf_a[512];
+    char buf_b[512];
+    std::snprintf(buf_a, sizeof buf_a, tmpl, "9.0", "1.0");
+    std::snprintf(buf_b, sizeof buf_b, tmpl, "1.0", "9.0");
+
+    std::string err;
+    const auto sa = parseWorkloadSpec(buf_a, &err);
+    ASSERT_TRUE(sa.has_value()) << err;
+    const auto sb = parseWorkloadSpec(buf_b, &err);
+    ASSERT_TRUE(sb.has_value()) << err;
+
+    const LoweredWorkload la = lowerWorkloadSpec(*sa);
+    const LoweredWorkload lb = lowerWorkloadSpec(*sb);
+    // Identical linked programs (the mix is an executor concern)...
+    EXPECT_EQ(la.build().footprintBytes(), lb.build().footprintBytes());
+    // ...but the phase schedule dispatches differently.
+    EXPECT_NE(streamDigest(la.build(), executorConfigFor(la), 30'000),
+              streamDigest(lb.build(), executorConfigFor(lb), 30'000));
+}
+
+// --------------------------------------------------- negative battery
+
+TEST(WorkloadSpec, MalformedSpecsFailWithAMessage)
+{
+    // Every entry must be rejected by the strict parser with a
+    // non-empty diagnostic — never a crash, hang or allocation blowup.
+    const std::vector<const char *> malformed = {
+        // JSON-level and root-shape errors.
+        R"({"name": )",                                     // bad JSON
+        R"([1, 2, 3])",                                     // array root
+        R"("spec")",                                        // string root
+        // Top-level member errors.
+        R"({"programs": [{"name": "a", "base": "db2"}]})",  // no name
+        R"({"name": "Bad", "programs": [{"name": "a", "base": "db2"}]})",
+        R"({"name": "x y", "programs": [{"name": "a", "base": "db2"}]})",
+        R"({"name": "ok", "programs": [{"name": "a", "base": "db2"}],
+            "surprise": 1})",                               // unknown key
+        R"({"name": "ok", "seed": -4,
+            "programs": [{"name": "a", "base": "db2"}]})",  // negative u64
+        R"({"name": "ok"})",                                // no programs
+        R"({"name": "ok", "programs": []})",                // empty list
+        R"({"name": "ok", "programs": "db2"})",             // wrong kind
+        // Program-level errors.
+        R"({"name": "ok", "programs": [42]})",              // not object
+        R"({"name": "ok", "programs": [{"base": "db2"}]})", // no name
+        R"({"name": "ok", "programs": [
+            {"name": "a", "base": "vax780"}]})",            // bad preset
+        R"({"name": "ok", "programs": [
+            {"name": "a", "base": "db2", "weight": 2}]})",  // unknown key
+        R"({"name": "ok", "programs": [
+            {"name": "a", "base": "db2"},
+            {"name": "a", "base": "zeus"}]})",              // dup name
+        R"({"name": "ok", "programs": [
+            {"name": "a", "base": "db2",
+             "params": {"blockCount": 5}}]})",              // unknown knob
+        R"({"name": "ok", "programs": [
+            {"name": "a", "base": "db2",
+             "params": {"appFunctions": 8589934592}}]})",   // > 32 bits
+        R"({"name": "ok", "programs": [
+            {"name": "a", "base": "db2",
+             "params": {"appFunctions": 3}}]})",            // < txns + 2
+        R"({"name": "ok", "programs": [
+            {"name": "a", "base": "db2",
+             "params": {"zipfS": 9.5}}]})",                 // out of range
+        R"({"name": "ok", "programs": [
+            {"name": "a", "base": "db2",
+             "params": {"interruptRate": 0.5}}]})",         // rate cap
+        R"({"name": "ok", "programs": [
+            {"name": "a", "base": "db2",
+             "params": {"meanFnBlocks": "six"}}]})",        // wrong kind
+        // Phase-level errors.
+        R"({"name": "ok", "programs": [{"name": "a", "base": "db2"}],
+            "phases": [{"instructions": 5000}]})",          // no name
+        R"({"name": "ok", "programs": [{"name": "a", "base": "db2"}],
+            "phases": [{"name": "p"}]})",                   // no budget
+        R"({"name": "ok", "programs": [{"name": "a", "base": "db2"}],
+            "phases": [{"name": "p", "instructions": 500}]})",
+        R"({"name": "ok", "programs": [{"name": "a", "base": "db2"}],
+            "phases": [{"name": "p",
+                        "instructions": 2000000000}]})",    // over cap
+        R"({"name": "ok", "programs": [{"name": "a", "base": "db2"}],
+            "phases": [{"name": "p", "instructions": 5000,
+                        "speed": 3}]})",                    // unknown key
+        R"({"name": "ok", "programs": [{"name": "a", "base": "db2"}],
+            "phases": [{"name": "p", "instructions": 5000},
+                       {"name": "p", "instructions": 5000}]})",
+        R"({"name": "ok", "programs": [{"name": "a", "base": "db2"}],
+            "phases": [{"name": "p", "instructions": 5000,
+                        "mix": {"ghost": 1.0}}]})",         // bad ref
+        R"({"name": "ok", "programs": [{"name": "a", "base": "db2"}],
+            "phases": [{"name": "p", "instructions": 5000,
+                        "mix": {"a": -1.0}}]})",            // negative
+        R"({"name": "ok", "programs": [{"name": "a", "base": "db2"}],
+            "phases": [{"name": "p", "instructions": 5000,
+                        "mix": {"a": 0.0}}]})",             // zero sum
+        R"({"name": "ok", "programs": [{"name": "a", "base": "db2"}],
+            "phases": [{"name": "p", "instructions": 5000,
+                        "mix": "uniform"}]})",              // wrong kind
+        R"({"name": "ok", "programs": [{"name": "a", "base": "db2"}],
+            "phases": [{"name": "p", "instructions": 5000,
+                        "interruptRate": 0.2}]})",          // rate cap
+        R"({"name": "ok", "programs": [{"name": "a", "base": "db2"}],
+            "phases": [{"name": "p", "instructions": 5000,
+                        "interruptRateEnd": 0.2}]})",       // ramp cap
+    };
+    ASSERT_GE(malformed.size(), 20u);
+
+    for (std::size_t i = 0; i < malformed.size(); ++i) {
+        SCOPED_TRACE("malformed[" + std::to_string(i) + "]");
+        std::string err;
+        const auto spec = parseWorkloadSpec(malformed[i], &err);
+        EXPECT_FALSE(spec.has_value()) << malformed[i];
+        EXPECT_FALSE(err.empty());
+    }
+
+    // Count caps reject before any generator work happens.
+    std::string many_programs = R"({"name": "ok", "programs": [)";
+    for (int i = 0; i < 9; ++i) {
+        many_programs += std::string(i ? "," : "") + R"({"name": "p)" +
+                         std::to_string(i) + R"(", "base": "db2"})";
+    }
+    many_programs += "]}";
+    std::string err;
+    EXPECT_FALSE(parseWorkloadSpec(many_programs, &err).has_value());
+    EXPECT_FALSE(err.empty());
+
+    std::string many_phases =
+        R"({"name": "ok", "programs": [{"name": "a", "base": "db2"}],
+            "phases": [)";
+    for (int i = 0; i < 17; ++i) {
+        many_phases += std::string(i ? "," : "") + R"({"name": "f)" +
+                       std::to_string(i) + R"(", "instructions": 5000})";
+    }
+    many_phases += "]}";
+    EXPECT_FALSE(parseWorkloadSpec(many_phases, &err).has_value());
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(WorkloadSpec, FileLoaderReportsThePath)
+{
+    std::string err;
+    EXPECT_FALSE(
+        loadWorkloadSpecFile("/nonexistent/spec.json", &err)
+            .has_value());
+    EXPECT_NE(err.find("/nonexistent/spec.json"), std::string::npos)
+        << err;
+}
+
+// ---------------------------------------------------------------- zoo
+
+TEST(WorkloadZoo, ShipsTheCuratedSpecs)
+{
+    const std::vector<WorkloadZooEntry> zoo = workloadZoo();
+    ASSERT_GE(zoo.size(), 6u);
+    for (const char *key :
+         {"microservice_fanout", "jit_churn", "cold_start_storm",
+          "diurnal_ramp", "batch_analytics", "mixed_tenant"}) {
+        EXPECT_TRUE(findZooEntry(key).has_value()) << key;
+    }
+    EXPECT_FALSE(findZooEntry("no_such_spec").has_value());
+}
+
+TEST(WorkloadZoo, EveryEntryLoadsValidatesAndRoundTrips)
+{
+    for (const WorkloadZooEntry &e : workloadZoo()) {
+        SCOPED_TRACE(e.key);
+        std::string err;
+        const auto spec = loadWorkloadSpecFile(e.path, &err);
+        ASSERT_TRUE(spec.has_value()) << err;
+        EXPECT_EQ(spec->name, e.key);
+        EXPECT_FALSE(validateWorkloadSpec(*spec).has_value());
+
+        // Canonical round trip holds for the whole zoo.
+        const std::string one = canon(*spec);
+        const auto again = parseWorkloadSpec(one, &err);
+        ASSERT_TRUE(again.has_value()) << err;
+        EXPECT_EQ(canon(*again), one);
+
+        // And every entry lowers to a runnable workload.
+        const WorkloadRef w = workloadRefFromSpec(*spec);
+        EXPECT_TRUE(w.isSpec());
+        EXPECT_EQ(w.key(), e.key);
+        const Program prog = w.buildProgram();
+        EXPECT_GT(prog.footprintBytes(), 0u);
+    }
+}
+
+} // namespace
+} // namespace pifetch
