@@ -9,8 +9,7 @@
  * PIFETCH_BENCH_SCALE environment variable (default 1.0).
  */
 
-#ifndef PIFETCH_BENCH_BENCH_COMMON_HH
-#define PIFETCH_BENCH_BENCH_COMMON_HH
+#pragma once
 
 #include <benchmark/benchmark.h>
 
@@ -115,5 +114,3 @@ runMicrobenchmarks(int argc, char **argv)
 
 } // namespace benchutil
 } // namespace pifetch
-
-#endif // PIFETCH_BENCH_BENCH_COMMON_HH

@@ -67,12 +67,14 @@ main()
     // across the cores. Each core is an independent engine, so the
     // multicore runner spreads them over the worker pool.
     std::printf("=== 16-core CMP (PIF, DB2), parallel runner ===\n");
+    // lint:allow(D-clock): demo prints wall-clock speed, not results
     const auto t0 = std::chrono::steady_clock::now();
     const auto mc = runMulticoreTrace(ServerWorkload::OltpDb2,
                                       PrefetcherKind::Pif,
                                       cfg.numCores, 250'000, 1'000'000,
                                       cfg);
     const double ms = std::chrono::duration<double, std::milli>(
+        // lint:allow(D-clock): demo prints wall-clock speed, not results
         std::chrono::steady_clock::now() - t0).count();
     std::printf("  mean miss ratio %.4f, mean PIF coverage %.2f%%, "
                 "%llu total misses\n",

@@ -20,6 +20,10 @@
  *       Fuzz randomized scenarios through the differential and
  *       metamorphic oracle battery (docs/validation.md); failing
  *       scenarios shrink to a minimal replayable JSON repro.
+ *   pifetch lint [paths...] [options]
+ *       Run the project static-analysis rules (docs/linting.md)
+ *       over the source tree and report violations as canonical
+ *       JSON; exits 1 on any unsuppressed error.
  *
  * Options (run and sweep):
  *   --workload W       restrict to workload W (repeatable);
@@ -57,6 +61,7 @@
 
 #include "check/checker.hh"
 #include "common/parallel.hh"
+#include "lint/driver.hh"
 #include "perf/kernels.hh"
 #include "sim/registry.hh"
 
@@ -78,6 +83,7 @@ usage(std::FILE *out)
         "  golden [--list|<exp>]     emit canonical golden JSON\n"
         "  perf [--list|options]     time the hot kernels\n"
         "  check [options]           fuzz + differential validation\n"
+        "  lint [paths...] [options] project static-analysis rules\n"
         "  help                      this message\n"
         "\n"
         "run/sweep options:\n"
@@ -119,6 +125,17 @@ usage(std::FILE *out)
         "                 (degree-miscount | coverage-drop)\n"
         "  --workload-file F  run every fuzzed scenario over this\n"
         "                 JSON workload spec\n"
+        "  --json/--quiet as above\n"
+        "\n"
+        "lint options:\n"
+        "  paths...       repo-relative path prefixes to scan\n"
+        "                 (default: src bench examples tests)\n"
+        "  --rule ID      run only rule ID (repeatable)\n"
+        "  --root DIR     repository root (default: the checkout\n"
+        "                 this binary was built from)\n"
+        "  --list-rules   print the rule catalog and exit\n"
+        "  --self-test    replay every rule's planted-violation\n"
+        "                 fixture and exit\n"
         "  --json/--quiet as above\n",
         out);
     return out == stderr ? 2 : 0;
@@ -970,6 +987,124 @@ cmdCheck(int argc, char **argv)
     return (!report.passed() || io_failed) ? 1 : 0;
 }
 
+int
+cmdLint(int argc, char **argv)
+{
+    lint::LintOptions opts;
+    std::string jsonPath;
+    bool quiet = false;
+    bool listRules = false;
+    bool selfTest = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "pifetch lint: %s needs a value\n",
+                             arg.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+
+        if (arg == "--rule") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            if (!lint::findRule(v)) {
+                std::fprintf(stderr,
+                             "pifetch lint: unknown rule '%s' "
+                             "(try `pifetch lint --list-rules`)\n", v);
+                return 2;
+            }
+            opts.rules.push_back(v);
+        } else if (arg == "--root") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            opts.root = v;
+        } else if (arg == "--json") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            jsonPath = v;
+        } else if (arg == "--list-rules") {
+            listRules = true;
+        } else if (arg == "--self-test") {
+            selfTest = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr,
+                         "pifetch lint: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            opts.paths.push_back(arg);
+        }
+    }
+
+    if (listRules) {
+        std::printf("%-24s %-12s %-8s %s\n", "rule", "class",
+                    "severity", "summary");
+        for (const lint::Rule &r : lint::ruleCatalog())
+            std::printf("%-24s %-12s %-8s %s\n", r.id.c_str(),
+                        r.category.c_str(),
+                        lint::severityKey(r.severity).c_str(),
+                        r.summary.c_str());
+        return 0;
+    }
+
+    if (selfTest) {
+        const std::vector<std::string> failures =
+            lint::runRuleSelfTest();
+        for (const std::string &f : failures)
+            std::fprintf(stderr, "pifetch lint: self-test: %s\n",
+                         f.c_str());
+        if (!quiet) {
+            std::printf("lint self-test: %zu rules, %zu failure%s\n",
+                        lint::ruleCatalog().size(), failures.size(),
+                        failures.size() == 1 ? "" : "s");
+        }
+        return failures.empty() ? 0 : 1;
+    }
+
+    std::string err;
+    const lint::LintReport report = lint::runLint(opts, &err);
+    if (!err.empty()) {
+        std::fprintf(stderr, "pifetch lint: %s\n", err.c_str());
+        return 2;
+    }
+
+    const std::string root =
+        opts.root.empty() ? lint::defaultRoot() : opts.root;
+    if (!quiet && jsonPath != "-") {
+        for (const lint::Finding &f : report.findings) {
+            if (f.suppressed)
+                continue;
+            std::printf("%s:%u: [%s] %s: %s\n", f.file.c_str(),
+                        f.violation.line,
+                        lint::severityKey(f.violation.severity)
+                            .c_str(),
+                        f.violation.rule.c_str(),
+                        f.violation.message.c_str());
+        }
+        std::printf("lint: %u files, %u error%s, %u warning%s "
+                    "(%u suppressed)\n",
+                    report.filesScanned, report.errors(),
+                    report.errors() == 1 ? "" : "s",
+                    report.warnings(),
+                    report.warnings() == 1 ? "" : "s",
+                    report.suppressedCount());
+    }
+    if (!jsonPath.empty() &&
+        !writeOutput(jsonPath,
+                     toJson(lint::toResult(report, root), 2) + "\n"))
+        return 1;
+    return report.clean() ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -990,6 +1125,8 @@ main(int argc, char **argv)
         return cmdPerf(argc, argv);
     if (cmd == "check")
         return cmdCheck(argc, argv);
+    if (cmd == "lint")
+        return cmdLint(argc, argv);
     if (cmd == "help" || cmd == "--help" || cmd == "-h")
         return usage(stdout);
     std::fprintf(stderr, "pifetch: unknown command '%s'\n",

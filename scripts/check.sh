@@ -17,3 +17,13 @@ cmake -B build -S . -DPIFETCH_BUILD_EXAMPLES=ON && \
 # A quick pass of the scenario-fuzzing oracle battery
 # (docs/validation.md); CI runs 25 seeds, the full bar is 100.
 ./pifetch check --seeds 5
+
+# Project static analysis (docs/linting.md): the rule self-test
+# proves every rule still fires, then the tree itself must come
+# back with zero unsuppressed violations.
+./pifetch lint --self-test --quiet
+./pifetch lint
+
+# Formatting is advisory (clang-format is not a repo dependency);
+# format.sh exits 0 with a notice when the tool is absent.
+../scripts/format.sh --check

@@ -3,8 +3,7 @@
  * Bimodal (PC-indexed) direction predictor.
  */
 
-#ifndef PIFETCH_BRANCH_BIMODAL_HH
-#define PIFETCH_BRANCH_BIMODAL_HH
+#pragma once
 
 #include <vector>
 
@@ -17,7 +16,7 @@ namespace pifetch {
  * branch PC. Captures strongly biased branches (the majority in server
  * code) without history interference.
  */
-class BimodalPredictor : public DirectionPredictor
+class BimodalPredictor final : public DirectionPredictor
 {
   public:
     /** @param entries Table size; must be a power of two. */
@@ -38,5 +37,3 @@ class BimodalPredictor : public DirectionPredictor
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_BRANCH_BIMODAL_HH

@@ -3,8 +3,7 @@
  * Branch target buffer.
  */
 
-#ifndef PIFETCH_BRANCH_BTB_HH
-#define PIFETCH_BRANCH_BTB_HH
+#pragma once
 
 #include <vector>
 
@@ -65,5 +64,3 @@ class Btb
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_BRANCH_BTB_HH

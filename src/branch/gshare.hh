@@ -3,8 +3,7 @@
  * Gshare direction predictor with explicit history management.
  */
 
-#ifndef PIFETCH_BRANCH_GSHARE_HH
-#define PIFETCH_BRANCH_GSHARE_HH
+#pragma once
 
 #include <vector>
 
@@ -19,7 +18,7 @@ namespace pifetch {
  * resolves each branch before predicting the next one of the same
  * thread, so speculative-history repair is unnecessary here.
  */
-class GsharePredictor : public DirectionPredictor
+class GsharePredictor final : public DirectionPredictor
 {
   public:
     /**
@@ -48,5 +47,3 @@ class GsharePredictor : public DirectionPredictor
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_BRANCH_GSHARE_HH

@@ -3,8 +3,7 @@
  * Hybrid (tournament) branch predictor: gshare + bimodal + chooser.
  */
 
-#ifndef PIFETCH_BRANCH_HYBRID_HH
-#define PIFETCH_BRANCH_HYBRID_HH
+#pragma once
 
 #include <vector>
 
@@ -22,7 +21,7 @@ namespace pifetch {
  * whose prediction is used; the chooser trains only when the components
  * disagree.
  */
-class HybridPredictor : public DirectionPredictor
+class HybridPredictor final : public DirectionPredictor
 {
   public:
     explicit HybridPredictor(const BranchConfig &cfg);
@@ -67,5 +66,3 @@ class HybridPredictor : public DirectionPredictor
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_BRANCH_HYBRID_HH

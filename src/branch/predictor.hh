@@ -8,8 +8,7 @@
  * wrong path — the noise source of Section 2.2.
  */
 
-#ifndef PIFETCH_BRANCH_PREDICTOR_HH
-#define PIFETCH_BRANCH_PREDICTOR_HH
+#pragma once
 
 #include <cstdint>
 
@@ -66,5 +65,3 @@ class DirectionPredictor
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_BRANCH_PREDICTOR_HH

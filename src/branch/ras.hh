@@ -3,8 +3,7 @@
  * Return address stack.
  */
 
-#ifndef PIFETCH_BRANCH_RAS_HH
-#define PIFETCH_BRANCH_RAS_HH
+#pragma once
 
 #include <vector>
 
@@ -49,5 +48,3 @@ class ReturnAddressStack
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_BRANCH_RAS_HH

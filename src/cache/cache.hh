@@ -10,8 +10,7 @@
  * cycle-accurate runs.
  */
 
-#ifndef PIFETCH_CACHE_CACHE_HH
-#define PIFETCH_CACHE_CACHE_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -140,5 +139,3 @@ class Cache
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_CACHE_CACHE_HH

@@ -11,8 +11,7 @@
  * the L2 hit latency (see DESIGN.md substitution #3).
  */
 
-#ifndef PIFETCH_CACHE_HIERARCHY_HH
-#define PIFETCH_CACHE_HIERARCHY_HH
+#pragma once
 
 #include <cstdint>
 
@@ -59,5 +58,3 @@ class MemoryHierarchy
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_CACHE_HIERARCHY_HH

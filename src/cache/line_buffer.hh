@@ -11,8 +11,7 @@
  * on a block transition.
  */
 
-#ifndef PIFETCH_CACHE_LINE_BUFFER_HH
-#define PIFETCH_CACHE_LINE_BUFFER_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -81,5 +80,3 @@ class LineBuffer
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_CACHE_LINE_BUFFER_HH

@@ -42,6 +42,7 @@ std::vector<MshrFile::Entry>
 MshrFile::drainReady(Cycle now)
 {
     std::vector<Entry> ready;
+    // lint:allow(D-unordered-iter): drain order normalized by the sort below
     for (auto it = entries_.begin(); it != entries_.end();) {
         if (it->second.readyAt <= now) {
             ready.push_back(it->second);

@@ -7,8 +7,7 @@
  * a full file back-pressures both.
  */
 
-#ifndef PIFETCH_CACHE_MSHR_HH
-#define PIFETCH_CACHE_MSHR_HH
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -79,5 +78,3 @@ class MshrFile
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_CACHE_MSHR_HH

@@ -9,8 +9,7 @@
  * testing.
  */
 
-#ifndef PIFETCH_CACHE_REPLACEMENT_HH
-#define PIFETCH_CACHE_REPLACEMENT_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -42,7 +41,7 @@ class ReplacementPolicy
 };
 
 /** True LRU via per-line monotonic timestamps. */
-class LruPolicy : public ReplacementPolicy
+class LruPolicy final : public ReplacementPolicy
 {
   public:
     LruPolicy(std::uint64_t sets, unsigned ways);
@@ -58,7 +57,7 @@ class LruPolicy : public ReplacementPolicy
 };
 
 /** Uniform-random victim selection (deterministic via seeded Rng). */
-class RandomPolicy : public ReplacementPolicy
+class RandomPolicy final : public ReplacementPolicy
 {
   public:
     RandomPolicy(std::uint64_t sets, unsigned ways,
@@ -83,5 +82,3 @@ makeReplacement(ReplacementKind kind, std::uint64_t sets, unsigned ways,
                 std::uint64_t seed = 0xc0ffee);
 
 } // namespace pifetch
-
-#endif // PIFETCH_CACHE_REPLACEMENT_HH

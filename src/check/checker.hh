@@ -11,8 +11,7 @@
  * keep this harness green; see docs/validation.md.
  */
 
-#ifndef PIFETCH_CHECK_CHECKER_HH
-#define PIFETCH_CHECK_CHECKER_HH
+#pragma once
 
 #include <functional>
 #include <optional>
@@ -134,5 +133,3 @@ ResultValue toResult(const ScenarioReport &report);
 ResultValue toResult(const CheckReport &report);
 
 } // namespace pifetch
-
-#endif // PIFETCH_CHECK_CHECKER_HH

@@ -22,8 +22,7 @@
  * direction the paper documents.
  */
 
-#ifndef PIFETCH_CHECK_INVARIANTS_HH
-#define PIFETCH_CHECK_INVARIANTS_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -131,5 +130,3 @@ void checkDegreeMonotone(std::uint64_t issued_lo, std::uint64_t issued_hi,
                          std::vector<CheckFailure> &out);
 
 } // namespace pifetch
-
-#endif // PIFETCH_CHECK_INVARIANTS_HH

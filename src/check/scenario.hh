@@ -16,8 +16,7 @@
  * `pifetch check --replay repro.json` re-executes it bit-identically.
  */
 
-#ifndef PIFETCH_CHECK_SCENARIO_HH
-#define PIFETCH_CHECK_SCENARIO_HH
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -99,5 +98,3 @@ std::string prefetcherKey(PrefetcherKind kind);
 std::optional<PrefetcherKind> prefetcherFromKey(const std::string &s);
 
 } // namespace pifetch
-
-#endif // PIFETCH_CHECK_SCENARIO_HH

@@ -5,8 +5,7 @@
  * and friends are unavailable).
  */
 
-#ifndef PIFETCH_COMMON_BITOPS_HH
-#define PIFETCH_COMMON_BITOPS_HH
+#pragma once
 
 #include <cstdint>
 
@@ -36,5 +35,3 @@ countrZero(std::uint64_t v) noexcept
 
 } // namespace bits
 } // namespace pifetch
-
-#endif // PIFETCH_COMMON_BITOPS_HH

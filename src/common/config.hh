@@ -8,8 +8,7 @@
  * history buffer, 4 SABs with a 7-region window).
  */
 
-#ifndef PIFETCH_COMMON_CONFIG_HH
-#define PIFETCH_COMMON_CONFIG_HH
+#pragma once
 
 #include <cstdint>
 #include <ostream>
@@ -158,5 +157,3 @@ struct SystemConfig
 void printSystemConfig(const SystemConfig &cfg, std::ostream &os);
 
 } // namespace pifetch
-
-#endif // PIFETCH_COMMON_CONFIG_HH

@@ -12,8 +12,7 @@
  * branch per instruction.
  */
 
-#ifndef PIFETCH_COMMON_DIGEST_HH
-#define PIFETCH_COMMON_DIGEST_HH
+#pragma once
 
 #include <cstdint>
 
@@ -87,5 +86,3 @@ digestAccess(StreamDigest &digest, const Access &access)
 }
 
 } // namespace pifetch
-
-#endif // PIFETCH_COMMON_DIGEST_HH

@@ -21,8 +21,7 @@
  * reaches these tables is a block address or PC far below it.
  */
 
-#ifndef PIFETCH_COMMON_FLAT_HASH_HH
-#define PIFETCH_COMMON_FLAT_HASH_HH
+#pragma once
 
 #include <algorithm>
 #include <cstddef>
@@ -263,5 +262,3 @@ class AddrMap
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_COMMON_FLAT_HASH_HH

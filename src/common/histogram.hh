@@ -7,8 +7,7 @@
  * distance, Fig. 9 stream length). Both flavours live here.
  */
 
-#ifndef PIFETCH_COMMON_HISTOGRAM_HH
-#define PIFETCH_COMMON_HISTOGRAM_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -145,5 +144,3 @@ class LinearHistogram
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_COMMON_HISTOGRAM_HH

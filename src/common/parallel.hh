@@ -19,8 +19,7 @@
  * no pool, no synchronization.
  */
 
-#ifndef PIFETCH_COMMON_PARALLEL_HH
-#define PIFETCH_COMMON_PARALLEL_HH
+#pragma once
 
 #include <atomic>
 #include <condition_variable>
@@ -115,5 +114,3 @@ void parallelFor(unsigned threads, std::uint64_t n,
                  const std::function<void(std::uint64_t)> &fn);
 
 } // namespace pifetch
-
-#endif // PIFETCH_COMMON_PARALLEL_HH

@@ -22,8 +22,7 @@
  *    embedded quotes doubled (RFC 4180).
  */
 
-#ifndef PIFETCH_COMMON_RESULTS_HH
-#define PIFETCH_COMMON_RESULTS_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -189,5 +188,3 @@ ResultValue toResult(const LinearHistogram &h);
 ResultValue toResult(const StatGroup &g);
 
 } // namespace pifetch
-
-#endif // PIFETCH_COMMON_RESULTS_HH

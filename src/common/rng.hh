@@ -9,8 +9,7 @@
  * xoshiro256** generator: fast, high quality, and trivially seedable.
  */
 
-#ifndef PIFETCH_COMMON_RNG_HH
-#define PIFETCH_COMMON_RNG_HH
+#pragma once
 
 #include <cmath>
 #include <cstdint>
@@ -144,5 +143,3 @@ class Rng
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_COMMON_RNG_HH

@@ -7,8 +7,7 @@
  * report after a run (mirroring gem5's stats package in miniature).
  */
 
-#ifndef PIFETCH_COMMON_STATS_HH
-#define PIFETCH_COMMON_STATS_HH
+#pragma once
 
 #include <cstdint>
 #include <ostream>
@@ -124,5 +123,3 @@ ratio(std::uint64_t num, std::uint64_t den)
 std::string percent(double fraction);
 
 } // namespace pifetch
-
-#endif // PIFETCH_COMMON_STATS_HH

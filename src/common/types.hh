@@ -8,8 +8,7 @@
  * (byte address >> 6).
  */
 
-#ifndef PIFETCH_COMMON_TYPES_HH
-#define PIFETCH_COMMON_TYPES_HH
+#pragma once
 
 #include <cstdint>
 #include <cstdio>
@@ -92,5 +91,3 @@ fatalError(const std::string &msg)
 }
 
 } // namespace pifetch
-
-#endif // PIFETCH_COMMON_TYPES_HH

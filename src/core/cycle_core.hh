@@ -20,8 +20,7 @@
  * metric.
  */
 
-#ifndef PIFETCH_CORE_CYCLE_CORE_HH
-#define PIFETCH_CORE_CYCLE_CORE_HH
+#pragma once
 
 #include <cstdint>
 
@@ -98,5 +97,3 @@ class TimingModel
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_CORE_CYCLE_CORE_HH

@@ -20,8 +20,7 @@
  * redirects (flush, no wrong-path burst, no predictor training).
  */
 
-#ifndef PIFETCH_CORE_FRONTEND_HH
-#define PIFETCH_CORE_FRONTEND_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -151,5 +150,3 @@ class Frontend
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_CORE_FRONTEND_HH

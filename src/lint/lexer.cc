@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Tokenizer implementation for the project lint engine.
+ */
+
+#include "lint/lexer.hh"
+
+#include <cctype>
+
+namespace pifetch {
+namespace lint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Raw-string prefixes: the identifier just lexed before a '"'. */
+bool
+isRawStringPrefix(const std::string &id)
+{
+    return id == "R" || id == "LR" || id == "uR" || id == "UR" ||
+           id == "u8R";
+}
+
+/** Three- then two-character punctuators, maximal munch. */
+unsigned
+punctLength(const std::string &s, std::size_t i)
+{
+    static const char *three[] = {"<<=", ">>=", "...", "->*"};
+    static const char *two[] = {"::", "->", "++", "--", "<<", ">>",
+                                "<=", ">=", "==", "!=", "&&", "||",
+                                "+=", "-=", "*=", "/=", "%=", "&=",
+                                "|=", "^=", ".*", "##"};
+    for (const char *p : three)
+        if (s.compare(i, 3, p) == 0)
+            return 3;
+    for (const char *p : two)
+        if (s.compare(i, 2, p) == 0)
+            return 2;
+    return 1;
+}
+
+} // namespace
+
+LexedSource
+lex(const std::string &src)
+{
+    LexedSource out;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+    unsigned line = 1;
+    bool lineHasCode = false;
+
+    const auto newline = [&]() {
+        ++line;
+        lineHasCode = false;
+    };
+
+    while (i < n) {
+        const char c = src[i];
+
+        if (c == '\n') {
+            newline();
+            ++i;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+            c == '\f') {
+            ++i;
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            Comment cm;
+            cm.line = line;
+            cm.ownLine = !lineHasCode;
+            i += 2;
+            while (i < n && src[i] != '\n')
+                cm.text += src[i++];
+            out.comments.push_back(std::move(cm));
+            continue;
+        }
+
+        // Block comment (may span lines; recorded at its start line).
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            Comment cm;
+            cm.line = line;
+            cm.ownLine = !lineHasCode;
+            cm.block = true;
+            i += 2;
+            while (i < n && !(src[i] == '*' && i + 1 < n &&
+                              src[i + 1] == '/')) {
+                if (src[i] == '\n')
+                    newline();
+                cm.text += src[i++];
+            }
+            if (i < n)
+                i += 2;  // closing */
+            out.comments.push_back(std::move(cm));
+            continue;
+        }
+
+        // Preprocessor directive: '#' first on its line, with
+        // backslash continuations folded into one Directive token.
+        if (c == '#' && !lineHasCode) {
+            Token t;
+            t.kind = Token::Kind::Directive;
+            t.line = line;
+            while (i < n) {
+                if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+                    newline();
+                    i += 2;
+                    t.text += ' ';
+                    continue;
+                }
+                if (src[i] == '\n')
+                    break;
+                // Trailing comments are not part of the directive.
+                if (src[i] == '/' && i + 1 < n &&
+                    (src[i + 1] == '/' || src[i + 1] == '*'))
+                    break;
+                t.text += src[i++];
+            }
+            // Skip a trailing comment without consuming the newline
+            // (so the comment still lands in the side channel).
+            while (!t.text.empty() &&
+                   (t.text.back() == ' ' || t.text.back() == '\t'))
+                t.text.pop_back();
+            lineHasCode = true;
+            out.tokens.push_back(std::move(t));
+            continue;
+        }
+
+        lineHasCode = true;
+
+        // Identifier / keyword (or a raw-string prefix).
+        if (isIdentStart(c)) {
+            Token t;
+            t.kind = Token::Kind::Ident;
+            t.line = line;
+            while (i < n && isIdentChar(src[i]))
+                t.text += src[i++];
+            if (i < n && src[i] == '"' && isRawStringPrefix(t.text)) {
+                // Raw string: R"delim( ... )delim".
+                Token s;
+                s.kind = Token::Kind::String;
+                s.line = line;
+                ++i;  // opening quote
+                std::string delim;
+                while (i < n && src[i] != '(')
+                    delim += src[i++];
+                if (i < n)
+                    ++i;  // '('
+                const std::string close = ")" + delim + "\"";
+                while (i < n && src.compare(i, close.size(), close) != 0) {
+                    if (src[i] == '\n')
+                        newline();
+                    s.text += src[i++];
+                }
+                if (i < n)
+                    i += close.size();
+                lineHasCode = true;
+                out.tokens.push_back(std::move(s));
+                continue;
+            }
+            out.tokens.push_back(std::move(t));
+            continue;
+        }
+
+        // Number (also .5; digit separators and exponents accepted).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+            Token t;
+            t.kind = Token::Kind::Number;
+            t.line = line;
+            while (i < n) {
+                const char d = src[i];
+                if (isIdentChar(d) || d == '.' || d == '\'') {
+                    t.text += src[i++];
+                } else if ((d == '+' || d == '-') && !t.text.empty() &&
+                           (t.text.back() == 'e' ||
+                            t.text.back() == 'E' ||
+                            t.text.back() == 'p' ||
+                            t.text.back() == 'P')) {
+                    t.text += src[i++];
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push_back(std::move(t));
+            continue;
+        }
+
+        // String / char literal with escape handling.
+        if (c == '"' || c == '\'') {
+            Token t;
+            t.kind = c == '"' ? Token::Kind::String : Token::Kind::Char;
+            t.line = line;
+            const char quote = c;
+            ++i;
+            while (i < n && src[i] != quote) {
+                if (src[i] == '\\' && i + 1 < n) {
+                    t.text += src[i];
+                    t.text += src[i + 1];
+                    i += 2;
+                    continue;
+                }
+                if (src[i] == '\n') {
+                    // Unterminated literal: stop at end of line so
+                    // the rest of the file still lexes.
+                    break;
+                }
+                t.text += src[i++];
+            }
+            if (i < n && src[i] == quote)
+                ++i;
+            out.tokens.push_back(std::move(t));
+            continue;
+        }
+
+        // Punctuator.
+        {
+            Token t;
+            t.kind = Token::Kind::Punct;
+            t.line = line;
+            const unsigned len = punctLength(src, i);
+            t.text = src.substr(i, len);
+            i += len;
+            out.tokens.push_back(std::move(t));
+        }
+    }
+
+    // A trailing newline moves the counter past the last real line;
+    // do not report that empty position as a line of source.
+    out.lines = (!src.empty() && src.back() == '\n') ? line - 1 : line;
+    return out;
+}
+
+} // namespace lint
+} // namespace pifetch

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A lightweight C++ tokenizer for the project lint engine.
+ *
+ * This is not a compiler front end: it produces exactly the stream
+ * the rule catalog (src/lint/rules.hh) needs — identifiers, numbers,
+ * literals, punctuators and whole preprocessor directives, each with
+ * a line number — while routing comments into a separate side channel
+ * so suppression annotations (`// lint:allow(...)`) can be parsed
+ * without polluting the token stream. Because rules match *tokens*,
+ * a banned name appearing inside a string literal or a comment (for
+ * example in the rule catalog's own fixtures) never trips a rule.
+ *
+ * Handled faithfully enough for linting: line comments, block
+ * comments, string/char literals with escapes, raw strings, digit
+ * separators, backslash line continuations in directives, and
+ * maximal-munch punctuators (`::`, `->`, `>>`, ...).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pifetch {
+namespace lint {
+
+/** One lexical token with its 1-based source line. */
+struct Token
+{
+    enum class Kind {
+        Ident,      ///< identifier or keyword
+        Number,     ///< integer / floating literal (incl. 1'000)
+        String,     ///< "..." or R"(...)" (text excludes quotes)
+        Char,       ///< '...'
+        Punct,      ///< operator / punctuator, maximal munch
+        Directive,  ///< whole preprocessor line, '#' included
+    };
+
+    Kind kind = Kind::Punct;
+    std::string text;
+    unsigned line = 0;
+};
+
+/** One comment, kept out of the token stream. */
+struct Comment
+{
+    /** Comment text without the // or enclosing markers. */
+    std::string text;
+    /** Line the comment starts on (1-based). */
+    unsigned line = 0;
+    /** True when nothing but whitespace precedes it on its line. */
+    bool ownLine = false;
+    /** True for a block comment. Suppression annotations are line
+     *  comments only, so documentation showing the syntax inside a
+     *  block comment is never parsed as one. */
+    bool block = false;
+};
+
+/** The lexed form of one translation unit. */
+struct LexedSource
+{
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+    /** Total number of source lines. */
+    unsigned lines = 0;
+};
+
+/**
+ * Tokenize @p src. Never fails: unterminated literals or comments
+ * lex to end of input, and bytes that fit no token class are skipped
+ * — a linter must degrade gracefully on code it half-understands.
+ */
+LexedSource lex(const std::string &src);
+
+} // namespace lint
+} // namespace pifetch

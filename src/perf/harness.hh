@@ -12,8 +12,7 @@
  * tooling can compare ops/sec across builds of the same machine.
  */
 
-#ifndef PIFETCH_PERF_HARNESS_HH
-#define PIFETCH_PERF_HARNESS_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -94,5 +93,3 @@ measureKernel(const std::string &name, const PerfProtocol &protocol,
 ResultValue toResult(const KernelTiming &t);
 
 } // namespace pifetch
-
-#endif // PIFETCH_PERF_HARNESS_HH

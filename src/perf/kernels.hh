@@ -21,8 +21,7 @@
  * docs/performance.md for the measurement protocol.
  */
 
-#ifndef PIFETCH_PERF_KERNELS_HH
-#define PIFETCH_PERF_KERNELS_HH
+#pragma once
 
 #include <functional>
 #include <string>
@@ -87,5 +86,3 @@ const PerfKernelSpec *findPerfKernel(const std::string &name);
 ResultValue runPerfSuite(const PerfOptions &opts);
 
 } // namespace pifetch
-
-#endif // PIFETCH_PERF_KERNELS_HH

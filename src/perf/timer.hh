@@ -8,8 +8,7 @@
  * the highest-resolution monotonic clock the standard guarantees.
  */
 
-#ifndef PIFETCH_PERF_TIMER_HH
-#define PIFETCH_PERF_TIMER_HH
+#pragma once
 
 #include <chrono>
 
@@ -53,5 +52,3 @@ class StopWatch
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_PERF_TIMER_HH

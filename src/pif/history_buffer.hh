@@ -15,8 +15,7 @@
  * 7/8-scaled TL0 split).
  */
 
-#ifndef PIFETCH_PIF_HISTORY_BUFFER_HH
-#define PIFETCH_PIF_HISTORY_BUFFER_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -106,5 +105,3 @@ class HistoryBuffer
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_PIF_HISTORY_BUFFER_HH

@@ -11,8 +11,7 @@
  * lookup sits on the per-fetch hot path of every Figure 10 run.
  */
 
-#ifndef PIFETCH_PIF_INDEX_TABLE_HH
-#define PIFETCH_PIF_INDEX_TABLE_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -73,5 +72,3 @@ class IndexTable
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_PIF_INDEX_TABLE_HH

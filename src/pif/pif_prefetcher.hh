@@ -8,8 +8,7 @@
  * monitor front-end fetches and issue prefetch candidates.
  */
 
-#ifndef PIFETCH_PIF_PIF_PREFETCHER_HH
-#define PIFETCH_PIF_PIF_PREFETCHER_HH
+#pragma once
 
 #include <algorithm>
 #include <cstdint>
@@ -240,5 +239,3 @@ PifPrefetcher::drainRequests(std::vector<Addr> &out, unsigned max)
 }
 
 } // namespace pifetch
-
-#endif // PIFETCH_PIF_PIF_PREFETCHER_HH

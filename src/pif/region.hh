@@ -10,8 +10,7 @@
  * trigger block itself is implicit (always accessed).
  */
 
-#ifndef PIFETCH_PIF_REGION_HH
-#define PIFETCH_PIF_REGION_HH
+#pragma once
 
 #include <cstdint>
 
@@ -105,5 +104,3 @@ struct SpatialRegion
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_PIF_REGION_HH

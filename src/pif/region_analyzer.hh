@@ -12,8 +12,7 @@
  *    distance from the trigger (Figure 8 left).
  */
 
-#ifndef PIFETCH_PIF_REGION_ANALYZER_HH
-#define PIFETCH_PIF_REGION_ANALYZER_HH
+#pragma once
 
 #include <cstdint>
 
@@ -75,5 +74,3 @@ class RegionAnalyzer
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_PIF_REGION_ANALYZER_HH

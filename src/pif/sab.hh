@@ -14,8 +14,7 @@
  * memmove) rather than a deque, and the match path is defined inline.
  */
 
-#ifndef PIFETCH_PIF_SAB_HH
-#define PIFETCH_PIF_SAB_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -149,5 +148,3 @@ class StreamAddressBuffer
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_PIF_SAB_HH

@@ -14,8 +14,7 @@
  * aggregate history match dedicated per-core storage.
  */
 
-#ifndef PIFETCH_PIF_SHARED_PIF_HH
-#define PIFETCH_PIF_SHARED_PIF_HH
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -112,5 +111,3 @@ class SharedPifPrefetcher final : public Prefetcher
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_PIF_SHARED_PIF_HH

@@ -10,8 +10,7 @@
  * instruction as trigger.
  */
 
-#ifndef PIFETCH_PIF_SPATIAL_COMPACTOR_HH
-#define PIFETCH_PIF_SPATIAL_COMPACTOR_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -127,5 +126,3 @@ class SpatialCompactor
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_PIF_SPATIAL_COMPACTOR_HH

@@ -10,8 +10,7 @@
  * benches can report coverage *per kilobyte of predictor storage*.
  */
 
-#ifndef PIFETCH_PIF_STORAGE_HH
-#define PIFETCH_PIF_STORAGE_HH
+#pragma once
 
 #include <cstdint>
 
@@ -69,5 +68,3 @@ std::uint64_t tifsStorageBits(const TifsConfig &cfg,
 std::uint64_t regionRecordBits(const PifConfig &cfg, unsigned pc_bits);
 
 } // namespace pifetch
-
-#endif // PIFETCH_PIF_STORAGE_HH

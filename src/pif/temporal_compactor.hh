@@ -9,8 +9,7 @@
  * regardless of the data-dependent trip count (Section 3.2).
  */
 
-#ifndef PIFETCH_PIF_TEMPORAL_COMPACTOR_HH
-#define PIFETCH_PIF_TEMPORAL_COMPACTOR_HH
+#pragma once
 
 #include <cstdint>
 #include <list>
@@ -61,5 +60,3 @@ class TemporalCompactor
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_PIF_TEMPORAL_COMPACTOR_HH

@@ -10,8 +10,7 @@
  * limitation the paper contrasts PIF against.
  */
 
-#ifndef PIFETCH_PREFETCH_DISCONTINUITY_HH
-#define PIFETCH_PREFETCH_DISCONTINUITY_HH
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -68,5 +67,3 @@ class DiscontinuityPrefetcher final : public Prefetcher
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_PREFETCH_DISCONTINUITY_HH

@@ -8,8 +8,7 @@
  * region (Section 6).
  */
 
-#ifndef PIFETCH_PREFETCH_NEXT_LINE_HH
-#define PIFETCH_PREFETCH_NEXT_LINE_HH
+#pragma once
 
 #include <deque>
 
@@ -41,5 +40,3 @@ class NextLinePrefetcher final : public Prefetcher
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_PREFETCH_NEXT_LINE_HH

@@ -13,8 +13,7 @@
  *    the L1-I (Section 4.3's line-buffer tag path), and performs fills.
  */
 
-#ifndef PIFETCH_PREFETCH_PREFETCHER_HH
-#define PIFETCH_PREFETCH_PREFETCHER_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -115,5 +114,3 @@ class NullPrefetcher final : public Prefetcher
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_PREFETCH_PREFETCHER_HH

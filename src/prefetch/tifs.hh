@@ -11,8 +11,7 @@
  * at 65-90% (Figure 10 left).
  */
 
-#ifndef PIFETCH_PREFETCH_TIFS_HH
-#define PIFETCH_PREFETCH_TIFS_HH
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -79,5 +78,3 @@ class TifsPrefetcher final : public Prefetcher
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_PREFETCH_TIFS_HH

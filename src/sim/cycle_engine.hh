@@ -10,8 +10,7 @@
  * perfect-latency cache).
  */
 
-#ifndef PIFETCH_SIM_CYCLE_ENGINE_HH
-#define PIFETCH_SIM_CYCLE_ENGINE_HH
+#pragma once
 
 #include <memory>
 #include <unordered_map>
@@ -145,5 +144,3 @@ class CycleEngine
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_SIM_CYCLE_ENGINE_HH

@@ -7,8 +7,7 @@
  * instruction budgets to check invariants cheaply.
  */
 
-#ifndef PIFETCH_SIM_EXPERIMENT_HH
-#define PIFETCH_SIM_EXPERIMENT_HH
+#pragma once
 
 #include <vector>
 
@@ -115,5 +114,3 @@ runFig10Speedup(const WorkloadRef &w, const ExperimentBudget &budget,
                 const SystemConfig &cfg = SystemConfig{});
 
 } // namespace pifetch
-
-#endif // PIFETCH_SIM_EXPERIMENT_HH

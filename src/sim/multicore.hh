@@ -12,8 +12,7 @@
  * folded into the shared-L2 latency model (DESIGN.md substitution #3).
  */
 
-#ifndef PIFETCH_SIM_MULTICORE_HH
-#define PIFETCH_SIM_MULTICORE_HH
+#pragma once
 
 #include <vector>
 
@@ -94,5 +93,3 @@ runSharedPifStudy(const WorkloadRef &w, unsigned cores,
                   const SystemConfig &cfg = SystemConfig{});
 
 } // namespace pifetch
-
-#endif // PIFETCH_SIM_MULTICORE_HH

@@ -11,8 +11,7 @@
  * virtual-dispatch fallback, just without the inlining.
  */
 
-#ifndef PIFETCH_SIM_PREFETCHER_DISPATCH_HH
-#define PIFETCH_SIM_PREFETCHER_DISPATCH_HH
+#pragma once
 
 #include "pif/pif_prefetcher.hh"
 #include "pif/shared_pif.hh"
@@ -48,5 +47,3 @@ withConcretePrefetcher(Prefetcher &pf, Fn &&fn)
 }
 
 } // namespace pifetch
-
-#endif // PIFETCH_SIM_PREFETCHER_DISPATCH_HH

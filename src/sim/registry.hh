@@ -24,8 +24,7 @@
  * byte-identical across checkouts and PIFETCH_THREADS settings.
  */
 
-#ifndef PIFETCH_SIM_REGISTRY_HH
-#define PIFETCH_SIM_REGISTRY_HH
+#pragma once
 
 #include <functional>
 #include <optional>
@@ -147,5 +146,3 @@ std::string goldenFixtureName(const GoldenEntry &entry);
 std::string goldenJson(const GoldenEntry &entry, unsigned threads = 0);
 
 } // namespace pifetch
-
-#endif // PIFETCH_SIM_REGISTRY_HH

@@ -3,8 +3,7 @@
  * Prefetcher selection and construction for the engines.
  */
 
-#ifndef PIFETCH_SIM_SYSTEM_CONFIG_HH
-#define PIFETCH_SIM_SYSTEM_CONFIG_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -41,5 +40,3 @@ std::unique_ptr<Prefetcher> makePrefetcher(PrefetcherKind kind,
                                            bool unbounded = false);
 
 } // namespace pifetch
-
-#endif // PIFETCH_SIM_SYSTEM_CONFIG_HH

@@ -8,8 +8,7 @@
  * the paper's trace-based studies (Sections 2, 3, 5.1-5.5).
  */
 
-#ifndef PIFETCH_SIM_TRACE_ENGINE_HH
-#define PIFETCH_SIM_TRACE_ENGINE_HH
+#pragma once
 
 #include <memory>
 
@@ -149,5 +148,3 @@ class TraceEngine
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_SIM_TRACE_ENGINE_HH

@@ -9,8 +9,7 @@
  * registry, CLI and checker pass specs through the same interface.
  */
 
-#ifndef PIFETCH_SIM_WORKLOADS_HH
-#define PIFETCH_SIM_WORKLOADS_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -113,5 +112,3 @@ class WorkloadRef
 WorkloadRef workloadRefFromSpec(WorkloadSpec spec);
 
 } // namespace pifetch
-
-#endif // PIFETCH_SIM_WORKLOADS_HH

@@ -8,8 +8,7 @@
  * argument for deep history storage.
  */
 
-#ifndef PIFETCH_STREAMS_JUMP_DISTANCE_HH
-#define PIFETCH_STREAMS_JUMP_DISTANCE_HH
+#pragma once
 
 #include "common/histogram.hh"
 #include "streams/temporal_predictor.hh"
@@ -43,5 +42,3 @@ class JumpDistanceStudy
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_STREAMS_JUMP_DISTANCE_HH

@@ -8,8 +8,7 @@
  * so lengths are in 8-block regions as in the paper.
  */
 
-#ifndef PIFETCH_STREAMS_STREAM_LENGTH_HH
-#define PIFETCH_STREAMS_STREAM_LENGTH_HH
+#pragma once
 
 #include "common/histogram.hh"
 #include "streams/temporal_predictor.hh"
@@ -42,5 +41,3 @@ class StreamLengthStudy
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_STREAMS_STREAM_LENGTH_HH

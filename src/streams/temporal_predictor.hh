@@ -12,8 +12,7 @@
  * studies.
  */
 
-#ifndef PIFETCH_STREAMS_TEMPORAL_PREDICTOR_HH
-#define PIFETCH_STREAMS_TEMPORAL_PREDICTOR_HH
+#pragma once
 
 #include <cstdint>
 #include <deque>
@@ -141,5 +140,3 @@ class TemporalStreamPredictor
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_STREAMS_TEMPORAL_PREDICTOR_HH

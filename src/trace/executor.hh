@@ -11,8 +11,7 @@
  * the access and miss streams.
  */
 
-#ifndef PIFETCH_TRACE_EXECUTOR_HH
-#define PIFETCH_TRACE_EXECUTOR_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -184,5 +183,3 @@ class Executor
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_TRACE_EXECUTOR_HH

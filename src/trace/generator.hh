@@ -13,8 +13,7 @@
  * level 1.
  */
 
-#ifndef PIFETCH_TRACE_GENERATOR_HH
-#define PIFETCH_TRACE_GENERATOR_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -133,5 +132,3 @@ class WorkloadGenerator
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_TRACE_GENERATOR_HH

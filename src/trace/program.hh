@@ -11,8 +11,7 @@
  * retire-order instruction stream.
  */
 
-#ifndef PIFETCH_TRACE_PROGRAM_HH
-#define PIFETCH_TRACE_PROGRAM_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -144,5 +143,3 @@ struct Program
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_TRACE_PROGRAM_HH

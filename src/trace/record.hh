@@ -9,8 +9,7 @@
  * branch-predictor noise and I-cache filtering (Section 2).
  */
 
-#ifndef PIFETCH_TRACE_RECORD_HH
-#define PIFETCH_TRACE_RECORD_HH
+#pragma once
 
 #include <cstdint>
 
@@ -85,5 +84,3 @@ struct RetiredInstr
 };
 
 } // namespace pifetch
-
-#endif // PIFETCH_TRACE_RECORD_HH

@@ -15,8 +15,7 @@
  * necessarily differ from the commercial software stack.
  */
 
-#ifndef PIFETCH_TRACE_SERVER_SUITE_HH
-#define PIFETCH_TRACE_SERVER_SUITE_HH
+#pragma once
 
 #include <optional>
 #include <string>
@@ -67,5 +66,3 @@ WorkloadParams workloadParams(ServerWorkload w,
                               std::uint64_t seed_offset = 0);
 
 } // namespace pifetch
-
-#endif // PIFETCH_TRACE_SERVER_SUITE_HH

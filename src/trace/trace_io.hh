@@ -8,8 +8,7 @@
  * packed records; versioned so future extensions stay readable.
  */
 
-#ifndef PIFETCH_TRACE_TRACE_IO_HH
-#define PIFETCH_TRACE_TRACE_IO_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -55,5 +54,3 @@ bool readTrace(const std::string &path,
                std::vector<RetiredInstr> &records);
 
 } // namespace pifetch
-
-#endif // PIFETCH_TRACE_TRACE_IO_HH

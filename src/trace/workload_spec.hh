@@ -21,8 +21,7 @@
  * schema reference.
  */
 
-#ifndef PIFETCH_TRACE_WORKLOAD_SPEC_HH
-#define PIFETCH_TRACE_WORKLOAD_SPEC_HH
+#pragma once
 
 #include <cstdint>
 #include <optional>
@@ -209,5 +208,3 @@ std::vector<WorkloadZooEntry> workloadZoo();
 std::optional<WorkloadZooEntry> findZooEntry(const std::string &key);
 
 } // namespace pifetch
-
-#endif // PIFETCH_TRACE_WORKLOAD_SPEC_HH

@@ -24,8 +24,7 @@
  * translation unit does not matter.
  */
 
-#ifndef PIFETCH_TESTS_MINITEST_HH
-#define PIFETCH_TESTS_MINITEST_HH
+#pragma once
 
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -815,5 +814,3 @@ class ScopedTraceFrame
 #define SUCCEED() static_cast<void>(::testing::Message())
 
 #define RUN_ALL_TESTS() ::testing::internal::runAllTests()
-
-#endif // PIFETCH_TESTS_MINITEST_HH

@@ -5,9 +5,6 @@
  * (see cmake/TestFramework.cmake).
  */
 
-#ifndef PIFETCH_TESTS_MINITEST_GTEST_SHIM_H
-#define PIFETCH_TESTS_MINITEST_GTEST_SHIM_H
+#pragma once
 
 #include "../../minitest.hh"
-
-#endif // PIFETCH_TESTS_MINITEST_GTEST_SHIM_H

@@ -3,8 +3,7 @@
  * Shared helpers for handcrafted test programs.
  */
 
-#ifndef PIFETCH_TESTS_TEST_UTIL_HH
-#define PIFETCH_TESTS_TEST_UTIL_HH
+#pragma once
 
 #include "trace/program.hh"
 
@@ -89,5 +88,3 @@ tinyProgram(double cond_taken_prob = 0.0)
 
 } // namespace testutil
 } // namespace pifetch
-
-#endif // PIFETCH_TESTS_TEST_UTIL_HH
