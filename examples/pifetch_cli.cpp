@@ -20,6 +20,10 @@
  *       Fuzz randomized scenarios through the differential and
  *       metamorphic oracle battery (docs/validation.md); failing
  *       scenarios shrink to a minimal replayable JSON repro.
+ *   pifetch query [options]
+ *       Record one run into the columnar event store (or reload a
+ *       saved event dump) and answer select/where/group-by/window
+ *       queries over it without re-simulating (docs/query.md).
  *   pifetch lint [paths...] [options]
  *       Run the project static-analysis rules (docs/linting.md)
  *       over the source tree and report violations as canonical
@@ -63,7 +67,11 @@
 #include "common/parallel.hh"
 #include "lint/driver.hh"
 #include "perf/kernels.hh"
+#include "query/event_store.hh"
+#include "query/query.hh"
+#include "sim/cycle_engine.hh"
 #include "sim/registry.hh"
+#include "sim/trace_engine.hh"
 
 using namespace pifetch;
 
@@ -83,6 +91,7 @@ usage(std::FILE *out)
         "  golden [--list|<exp>]     emit canonical golden JSON\n"
         "  perf [--list|options]     time the hot kernels\n"
         "  check [options]           fuzz + differential validation\n"
+        "  query [options]           event-store recording + queries\n"
         "  lint [paths...] [options] project static-analysis rules\n"
         "  help                      this message\n"
         "\n"
@@ -122,10 +131,38 @@ usage(std::FILE *out)
         "  --threads N    worker lanes over scenarios (0 = auto)\n"
         "  --no-shrink    keep failing scenarios unshrunk\n"
         "  --inject-fault K  deliberate break for self-tests\n"
-        "                 (degree-miscount | coverage-drop)\n"
+        "                 (degree-miscount | coverage-drop |\n"
+        "                 window-miscount)\n"
         "  --workload-file F  run every fuzzed scenario over this\n"
         "                 JSON workload spec\n"
         "  --json/--quiet as above\n"
+        "\n"
+        "query options:\n"
+        "  --workload W   record one run of this workload (a preset\n"
+        "                 or zoo spec name, as for run)\n"
+        "  --workload-file F  record one run of this JSON spec\n"
+        "  --load FILE    query a saved event dump instead of\n"
+        "                 recording a run (see --dump)\n"
+        "  --prefetcher K prefetcher for the recorded run (none |\n"
+        "                 nextline | tifs | discontinuity | pif |\n"
+        "                 perfect; default pif)\n"
+        "  --engine E     trace | cycle (default trace)\n"
+        "  --warmup N     warmup instructions (default 50000)\n"
+        "  --measure N    recorded instructions (default 200000)\n"
+        "  --seed N / --set k=v  as above\n"
+        "  --window N     counter-sample stride in retired\n"
+        "                 instructions (default 4096)\n"
+        "  --retires      also record one slice per retired\n"
+        "                 instruction (large!)\n"
+        "  --max-slices N slice-row cap; excess rows are dropped\n"
+        "                 and counted (default 2^22)\n"
+        "  --dump FILE|-  write the store as a reloadable JSON\n"
+        "                 event dump (schema pifetch-events-v1)\n"
+        "  --query Q      run one query (repeatable); grammar in\n"
+        "                 docs/query.md\n"
+        "  --streams      emit the Fig. 2-style miss-stream-length\n"
+        "                 table\n"
+        "  --json/--csv/--quiet as above\n"
         "\n"
         "lint options:\n"
         "  paths...       repo-relative path prefixes to scan\n"
@@ -173,6 +210,19 @@ knownWorkloadNames()
         if (!out.empty())
             out += ", ";
         out += e.key;
+    }
+    return out;
+}
+
+/** Every accepted --inject-fault name, in declaration order. */
+std::string
+knownFaultNames()
+{
+    std::string out;
+    for (FaultInjection f : allFaultInjections()) {
+        if (!out.empty())
+            out += ", ";
+        out += faultKey(f);
     }
     return out;
 }
@@ -833,7 +883,9 @@ cmdCheck(int argc, char **argv)
             const auto fault = faultFromKey(v);
             if (!fault) {
                 std::fprintf(stderr,
-                             "pifetch check: unknown fault '%s'\n", v);
+                             "pifetch check: unknown fault '%s' "
+                             "(known: %s)\n", v,
+                             knownFaultNames().c_str());
                 return 2;
             }
             opts.inject = *fault;
@@ -988,6 +1040,304 @@ cmdCheck(int argc, char **argv)
 }
 
 int
+cmdQuery(int argc, char **argv)
+{
+    std::optional<WorkloadRef> workload;
+    std::string loadPath;
+    PrefetcherKind kind = PrefetcherKind::Pif;
+    bool engineCycle = false;
+    std::uint64_t warmup = 50'000;
+    std::uint64_t measure = 200'000;
+    SystemConfig cfg;
+    EventStoreOptions storeOpts;
+    std::string dumpPath;
+    bool streams = false;
+    std::vector<Query> queries;
+    CliOptions out;  // only jsonPath/csvPath/quiet are used
+    /** Last record-only option seen, for the --load conflict check. */
+    std::string recordOnlyOption;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "pifetch query: %s needs a value\n",
+                             arg.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        const auto badValue = [&](const char *v) {
+            std::fprintf(stderr,
+                         "pifetch query: bad value '%s' for %s\n",
+                         v ? v : "<missing>", arg.c_str());
+            return 2;
+        };
+        const auto oneSource = [&]() {
+            if (!workload && loadPath.empty())
+                return true;
+            std::fprintf(stderr,
+                         "pifetch query: multiple sources; pass "
+                         "exactly one of --workload, --workload-file "
+                         "or --load\n");
+            return false;
+        };
+
+        if (arg == "--workload") {
+            const char *v = next();
+            if (!v || !oneSource())
+                return 2;
+            const auto w = resolveWorkload(v, "pifetch query");
+            if (!w)
+                return 2;
+            workload = *w;
+        } else if (arg == "--workload-file") {
+            const char *v = next();
+            if (!v || !oneSource())
+                return 2;
+            const auto w = loadWorkloadFile(v, "pifetch query");
+            if (!w)
+                return 2;
+            workload = *w;
+        } else if (arg == "--load") {
+            const char *v = next();
+            if (!v || !oneSource())
+                return 2;
+            loadPath = v;
+        } else if (arg == "--prefetcher") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            const auto k = prefetcherFromKey(v);
+            if (!k) {
+                std::string known;
+                for (PrefetcherKind p :
+                     {PrefetcherKind::None, PrefetcherKind::NextLine,
+                      PrefetcherKind::Tifs,
+                      PrefetcherKind::Discontinuity,
+                      PrefetcherKind::Pif, PrefetcherKind::Perfect}) {
+                    if (!known.empty())
+                        known += ", ";
+                    known += prefetcherKey(p);
+                }
+                std::fprintf(stderr,
+                             "pifetch query: unknown prefetcher '%s' "
+                             "(known: %s)\n", v, known.c_str());
+                return 2;
+            }
+            kind = *k;
+            recordOnlyOption = arg;
+        } else if (arg == "--engine") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            if (std::strcmp(v, "trace") == 0)
+                engineCycle = false;
+            else if (std::strcmp(v, "cycle") == 0)
+                engineCycle = true;
+            else
+                return badValue(v);
+            recordOnlyOption = arg;
+        } else if (arg == "--warmup" || arg == "--measure" ||
+                   arg == "--seed" || arg == "--window" ||
+                   arg == "--max-slices") {
+            const char *v = next();
+            std::uint64_t n = 0;
+            if (!v || !parseU64Arg(v, n))
+                return badValue(v);
+            if (arg == "--warmup") {
+                warmup = n;
+            } else if (arg == "--measure") {
+                measure = n;
+            } else if (arg == "--seed") {
+                cfg.seed = n;
+            } else if (arg == "--window") {
+                if (n == 0) {
+                    // 0 is the "sampling disabled" encoding in
+                    // EventStoreOptions; as a CLI request it would
+                    // silently empty the counters table.
+                    std::fprintf(stderr,
+                                 "pifetch query: --window must be "
+                                 ">= 1\n");
+                    return 2;
+                }
+                storeOpts.counterWindow = n;
+            } else {
+                storeOpts.maxSlices = n;
+            }
+            recordOnlyOption = arg;
+        } else if (arg == "--set") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            const char *eq = std::strchr(v, '=');
+            if (!eq ||
+                !applyConfigOverride(cfg, std::string(v, eq), eq + 1)) {
+                std::fprintf(stderr,
+                             "pifetch query: bad override '%s' (see "
+                             "`pifetch list` for keys)\n", v);
+                return 2;
+            }
+            recordOnlyOption = arg;
+        } else if (arg == "--retires") {
+            storeOpts.recordRetires = true;
+            recordOnlyOption = arg;
+        } else if (arg == "--dump") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            dumpPath = v;
+            recordOnlyOption = arg;
+        } else if (arg == "--streams") {
+            streams = true;
+        } else if (arg == "--query") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            std::string err;
+            const auto q = parseQuery(v, &err);
+            if (!q) {
+                std::fprintf(stderr, "pifetch query: %s\n",
+                             err.c_str());
+                return 2;
+            }
+            queries.push_back(*q);
+        } else if (arg == "--json") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            out.jsonPath = v;
+        } else if (arg == "--csv") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            out.csvPath = v;
+        } else if (arg == "--quiet") {
+            out.quiet = true;
+        } else {
+            std::fprintf(stderr,
+                         "pifetch query: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    if (!workload && loadPath.empty()) {
+        std::fprintf(stderr,
+                     "pifetch query: need a source: --workload, "
+                     "--workload-file or --load\n");
+        return 2;
+    }
+    if (!loadPath.empty() && !recordOnlyOption.empty()) {
+        // A dump is immutable data: accepting-and-ignoring run knobs
+        // would report results for a run that never happened.
+        std::fprintf(stderr,
+                     "pifetch query: %s has no effect with --load\n",
+                     recordOnlyOption.c_str());
+        return 2;
+    }
+    if (queries.empty() && !streams && dumpPath.empty()) {
+        std::fprintf(stderr,
+                     "pifetch query: nothing to do; pass --query, "
+                     "--streams and/or --dump\n");
+        return 2;
+    }
+    int dashes = dumpPath == "-" ? 1 : 0;
+    dashes += out.jsonPath == "-" ? 1 : 0;
+    dashes += out.csvPath == "-" ? 1 : 0;
+    if (dashes > 1) {
+        std::fprintf(stderr,
+                     "pifetch query: only one of --dump/--json/--csv "
+                     "may write to stdout\n");
+        return 2;
+    }
+    if (dumpPath == "-")
+        out.quiet = true;  // keep the stdout dump pure JSON
+
+    EventStore store(storeOpts);
+    ResultValue meta = ResultValue::object();
+    if (!loadPath.empty()) {
+        std::ifstream is(loadPath, std::ios::binary);
+        std::ostringstream text;
+        text << is.rdbuf();
+        if (!is) {
+            std::fprintf(stderr, "pifetch query: cannot read %s\n",
+                         loadPath.c_str());
+            return 2;
+        }
+        std::string err;
+        const auto doc = parseJson(text.str(), &err);
+        if (!doc) {
+            std::fprintf(stderr, "pifetch query: %s: %s\n",
+                         loadPath.c_str(), err.c_str());
+            return 2;
+        }
+        auto loaded = eventStoreFromResult(*doc, &err);
+        if (!loaded) {
+            std::fprintf(stderr, "pifetch query: %s: %s\n",
+                         loadPath.c_str(), err.c_str());
+            return 2;
+        }
+        store = std::move(*loaded);
+        meta.set("load", loadPath);
+    } else {
+        const Program prog = workload->buildProgram();
+        const ExecutorConfig exec = workload->executorConfig();
+        if (engineCycle) {
+            CycleEngine engine(cfg, prog, exec, kind);
+            engine.attachEvents(&store);
+            engine.run(warmup, measure);
+        } else {
+            TraceEngine engine(cfg, prog, exec,
+                               makePrefetcher(kind, cfg));
+            engine.attachEvents(&store);
+            engine.run(warmup, measure);
+        }
+        meta.set("workload", workload->key());
+        meta.set("prefetcher", prefetcherKey(kind));
+        meta.set("engine", engineCycle ? "cycle" : "trace");
+        meta.set("warmup", warmup);
+        meta.set("measure", measure);
+        meta.set("seed", cfg.seed);
+    }
+    meta.set("slices", store.sliceCount());
+    meta.set("counters", store.counterCount());
+    meta.set("dropped_slices", store.droppedSlices());
+    std::uint64_t retired = 0;
+    for (unsigned c = 0; c < store.coresSeen(); ++c)
+        retired += store.retired(c);
+    meta.set("retired", retired);
+    meta.set("cores", store.coresSeen());
+
+    ResultValue tables = ResultValue::array();
+    for (const Query &q : queries) {
+        std::string err;
+        auto table = runQuery(store, q, &err);
+        if (!table) {
+            std::fprintf(stderr, "pifetch query: %s\n", err.c_str());
+            return 2;
+        }
+        tables.push(std::move(*table));
+    }
+    if (streams)
+        tables.push(missStreamLengthTable(store));
+
+    ResultValue doc = ResultValue::object();
+    doc.set("experiment", "query");
+    doc.set("description", "columnar event-store queries");
+    doc.set("meta", std::move(meta));
+    doc.set("tables", std::move(tables));
+
+    bool ok = true;
+    if (!dumpPath.empty() &&
+        !writeOutput(dumpPath, toJson(toResult(store), 2) + "\n"))
+        ok = false;
+    if (!emitOutputs(out, doc))
+        ok = false;
+    return ok ? 0 : 1;
+}
+
+int
 cmdLint(int argc, char **argv)
 {
     lint::LintOptions opts;
@@ -1125,6 +1475,8 @@ main(int argc, char **argv)
         return cmdPerf(argc, argv);
     if (cmd == "check")
         return cmdCheck(argc, argv);
+    if (cmd == "query")
+        return cmdQuery(argc, argv);
     if (cmd == "lint")
         return cmdLint(argc, argv);
     if (cmd == "help" || cmd == "--help" || cmd == "-h")

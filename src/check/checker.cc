@@ -17,6 +17,13 @@
 
 namespace pifetch {
 
+std::vector<FaultInjection>
+allFaultInjections()
+{
+    return {FaultInjection::None, FaultInjection::DegreeMiscount,
+            FaultInjection::CoverageDrop, FaultInjection::WindowMiscount};
+}
+
 std::string
 faultKey(FaultInjection fault)
 {
@@ -24,6 +31,7 @@ faultKey(FaultInjection fault)
       case FaultInjection::None:           return "none";
       case FaultInjection::DegreeMiscount: return "degree-miscount";
       case FaultInjection::CoverageDrop:   return "coverage-drop";
+      case FaultInjection::WindowMiscount: return "window-miscount";
     }
     panic("unknown fault injection");
 }
@@ -31,9 +39,7 @@ faultKey(FaultInjection fault)
 std::optional<FaultInjection>
 faultFromKey(const std::string &s)
 {
-    for (FaultInjection f :
-         {FaultInjection::None, FaultInjection::DegreeMiscount,
-          FaultInjection::CoverageDrop}) {
+    for (FaultInjection f : allFaultInjections()) {
         if (s == faultKey(f))
             return f;
     }
@@ -42,15 +48,37 @@ faultFromKey(const std::string &s)
 
 namespace {
 
-/** One digest-enabled functional run. */
+/** One digest-enabled functional run (optionally event-recorded). */
 TraceRunResult
 traceRun(const Program &prog, const ExecutorConfig &exec,
          const SystemConfig &cfg, PrefetcherKind kind, InstCount warmup,
-         InstCount measure)
+         InstCount measure, EventStore *events = nullptr)
 {
     TraceEngine engine(cfg, prog, exec, makePrefetcher(kind, cfg));
     engine.enableDigests();
+    if (events)
+        engine.attachEvents(events);
     return engine.run(warmup, measure);
+}
+
+/**
+ * Event-store knobs for the step-1 windowed oracles: fetch slices
+ * only (prefetch rows are timing-dependent, and excluding them keeps
+ * the two engines' slice streams row-aligned under the overflow cap)
+ * and a finer counter stride than the CLI default so even the
+ * canonical shrunk scenario (measure floor 4000) takes several
+ * samples.
+ */
+EventStoreOptions
+oracleEventOptions()
+{
+    EventStoreOptions opts;
+    opts.counterWindow = 1'024;
+    opts.maxSlices = std::uint64_t{1} << 20;
+    opts.recordRetires = false;
+    opts.recordFetches = true;
+    opts.recordPrefetches = false;
+    return opts;
 }
 
 /** The params for simulated core @p core of a fuzzed scenario. */
@@ -184,19 +212,36 @@ runScenario(const Scenario &sc, FaultInjection inject)
     const ExecutorConfig exec =
         lw ? executorConfigFor(*lw) : executorConfigFor(sc.params);
 
-    // 1. Differential oracle: same scenario through both engines.
+    // 1. Differential oracle: same scenario through both engines —
+    //    whole-run digests and counters, plus the windowed event-store
+    //    oracles (src/query/), which localize any divergence to the
+    //    first disagreeing instruction window.
+    EventStore traceEvents(oracleEventOptions());
     const TraceRunResult trace = traceRun(prog, exec, sc.cfg, sc.kind,
-                                          sc.warmup, sc.measure);
+                                          sc.warmup, sc.measure,
+                                          &traceEvents);
     checkTraceSanity(trace, prefetcherKey(sc.kind),
                      sc.cfg.l1i.sizeBytes / blockBytes, out);
     {
+        EventStore cycleEvents(oracleEventOptions());
         CycleEngine engine(sc.cfg, prog, exec, sc.kind);
         engine.enableDigests();
+        engine.attachEvents(&cycleEvents);
         const CycleRunResult cycle = engine.run(sc.warmup, sc.measure);
         const bool perfect = sc.kind == PrefetcherKind::Perfect;
         const bool instant = perfect || sc.kind == PrefetcherKind::None;
         checkCycleSanity(cycle, perfect, out);
         checkCrossEngine(trace, cycle, instant, out);
+        if (inject == FaultInjection::WindowMiscount) {
+            // Skew the second accesses sample: one interior window
+            // disagrees, whole-run totals stay intact, and the fault
+            // survives every shrink move down to the canonical floor
+            // (4000 retires / stride 1024 still take three samples).
+            cycleEvents.injectCounterSkew(EventCounter::Accesses, 1, 7);
+        }
+        checkWindowedCounters(traceEvents, cycleEvents, instant, out);
+        if (instant)
+            checkRegionMissProfile(traceEvents, cycleEvents, out);
     }
 
     // 2. Prefetcher-off baseline: zero activity, deterministic, and

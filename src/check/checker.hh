@@ -34,7 +34,17 @@ enum class FaultInjection {
     DegreeMiscount,
     /** Depress the large-history PIF coverage below the small one. */
     CoverageDrop,
+    /**
+     * Skew one counter sample of the cycle engine's event store, so
+     * exactly one instruction window disagrees across engines and the
+     * windowed oracle must localize it (the whole-run totals stay
+     * untouched).
+     */
+    WindowMiscount,
 };
+
+/** Every fault in declaration order (CLI listings, tests). */
+std::vector<FaultInjection> allFaultInjections();
 
 /** CLI/JSON token for a fault ("degree-miscount", ...). */
 std::string faultKey(FaultInjection fault);

@@ -5,8 +5,11 @@
 
 #include "check/invariants.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
+
+#include "query/query.hh"
 
 namespace pifetch {
 
@@ -151,6 +154,111 @@ checkCrossEngine(const TraceRunResult &trace, const CycleRunResult &cycle,
         // cannot differ, so the miss streams coincide exactly.
         requireEqual(out, "cross-engine-misses", "correct-path misses",
                      trace.misses, cycle.misses);
+    }
+}
+
+void
+checkWindowedCounters(const EventStore &trace, const EventStore &cycle,
+                      bool fills_instant, std::vector<CheckFailure> &out)
+{
+    const char *inv = "windowed-counter-equality";
+    const std::size_t n =
+        std::min(trace.counterCount(), cycle.counterCount());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (trace.counterInstr()[i] != cycle.counterInstr()[i] ||
+            trace.counterCore()[i] != cycle.counterCore()[i] ||
+            trace.counterId()[i] != cycle.counterId()[i]) {
+            std::ostringstream os;
+            os << "counter-sample schedules diverge at row " << i
+               << ": trace instr " << trace.counterInstr()[i]
+               << " vs cycle instr " << cycle.counterInstr()[i];
+            failure(out, inv, os.str());
+            return;
+        }
+        const auto counter =
+            static_cast<EventCounter>(trace.counterId()[i]);
+        if (!fills_instant && (counter == EventCounter::Misses ||
+                               counter == EventCounter::PrefetchFills)) {
+            // Fill timing may legitimately shift these; the whole-run
+            // oracle applies the same exclusion.
+            continue;
+        }
+        if (trace.counterValue()[i] != cycle.counterValue()[i]) {
+            std::ostringstream os;
+            os << eventCounterKey(counter) << " diverges at instr "
+               << trace.counterInstr()[i] << " (core "
+               << static_cast<unsigned>(trace.counterCore()[i])
+               << "): trace=" << trace.counterValue()[i]
+               << " cycle=" << cycle.counterValue()[i];
+            failure(out, inv, os.str());
+            return;
+        }
+    }
+    if (trace.counterCount() != cycle.counterCount()) {
+        failure(out, inv,
+                pair2("counter-sample counts differ", "trace",
+                      trace.counterCount(), "cycle",
+                      cycle.counterCount()));
+    }
+}
+
+void
+checkRegionMissProfile(const EventStore &trace, const EventStore &cycle,
+                       std::vector<CheckFailure> &out)
+{
+    const char *inv = "region-miss-profile";
+    const auto profile = [](const EventStore &store) {
+        const auto q = parseQuery(
+            "select region, count() from slices where kind == fetch "
+            "and correct == true and hit == false group by region");
+        if (!q)
+            panic("region-miss-profile: canned query failed to parse");
+        const auto table = runQuery(store, *q);
+        if (!table)
+            panic("region-miss-profile: canned query failed to run");
+        return *table;
+    };
+    const ResultValue a = profile(trace);
+    const ResultValue b = profile(cycle);
+    const ResultValue *ra = a.find("rows");
+    const ResultValue *rb = b.find("rows");
+
+    // Rows come back sorted by region (group-key order): merge-join
+    // and report the first disagreement only.
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < ra->size() || j < rb->size()) {
+        const bool haveA = i < ra->size();
+        const bool haveB = j < rb->size();
+        const std::uint64_t regA =
+            haveA ? ra->at(i).at(0).uintValue() : 0;
+        const std::uint64_t regB =
+            haveB ? rb->at(j).at(0).uintValue() : 0;
+        if (!haveB || (haveA && regA < regB)) {
+            std::ostringstream os;
+            os << "region " << regA << " misses only in the trace "
+               << "engine (" << ra->at(i).at(1).uintValue() << " misses)";
+            failure(out, inv, os.str());
+            return;
+        }
+        if (!haveA || regB < regA) {
+            std::ostringstream os;
+            os << "region " << regB << " misses only in the cycle "
+               << "engine (" << rb->at(j).at(1).uintValue() << " misses)";
+            failure(out, inv, os.str());
+            return;
+        }
+        const std::uint64_t ca = ra->at(i).at(1).uintValue();
+        const std::uint64_t cb = rb->at(j).at(1).uintValue();
+        if (ca != cb) {
+            std::ostringstream os;
+            os << "region " << regA << " miss counts diverge: trace="
+               << ca << " cycle=" << cb;
+            failure(out, inv, os.str());
+            return;
+        }
+        ++i;
+        ++j;
     }
 }
 

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "query/event_store.hh"
 #include "sim/cycle_engine.hh"
 #include "sim/trace_engine.hh"
 
@@ -73,6 +74,32 @@ void checkCycleSanity(const CycleRunResult &r, bool perfect,
 void checkCrossEngine(const TraceRunResult &trace,
                       const CycleRunResult &cycle, bool fills_instant,
                       std::vector<CheckFailure> &out);
+
+/**
+ * Windowed differential oracle ("windowed-counter-equality"): both
+ * engines sampled their cumulative counters into event stores at the
+ * same retired-instruction windows, so the sample schedules must
+ * align row for row and every timing-independent sample must match
+ * exactly — misses and prefetch fills only with @p fills_instant.
+ * Unlike the whole-run counter oracle this reports just the FIRST
+ * divergence, naming the earliest instruction window that disagrees,
+ * so a shrunk repro localizes the bug in simulated time.
+ */
+void checkWindowedCounters(const EventStore &trace,
+                           const EventStore &cycle, bool fills_instant,
+                           std::vector<CheckFailure> &out);
+
+/**
+ * Per-region miss profile ("region-miss-profile"): with instant fills
+ * the engines' correct-path miss streams coincide, so grouping the
+ * missed fetch slices by 8-block spatial region must give identical
+ * per-region miss counts. Evaluated through the query engine itself
+ * (`select region, count() from slices where ... group by region`);
+ * reports only the first region that differs.
+ */
+void checkRegionMissProfile(const EventStore &trace,
+                            const EventStore &cycle,
+                            std::vector<CheckFailure> &out);
 
 /**
  * Bit-identity of two functional runs that must not differ at all

@@ -883,6 +883,27 @@ toResult(const LinearHistogram &h)
     return out;
 }
 
+std::optional<std::vector<std::uint64_t>>
+uintArrayFromResult(const ResultValue &v)
+{
+    if (v.kind() != ResultValue::Kind::Array)
+        return std::nullopt;
+    std::vector<std::uint64_t> out;
+    out.reserve(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        const ResultValue &e = v.at(i);
+        if (e.kind() == ResultValue::Kind::Uint) {
+            out.push_back(e.uintValue());
+        } else if (e.kind() == ResultValue::Kind::Int &&
+                   e.intValue() >= 0) {
+            out.push_back(static_cast<std::uint64_t>(e.intValue()));
+        } else {
+            return std::nullopt;
+        }
+    }
+    return out;
+}
+
 ResultValue
 toResult(const StatGroup &g)
 {

@@ -187,4 +187,27 @@ ResultValue toResult(const LinearHistogram &h);
 /** Serialize a StatGroup's counters as {<group>.<name>: value}. */
 ResultValue toResult(const StatGroup &g);
 
+/**
+ * Serialize an unsigned-integer column as a JSON array. The columnar
+ * dump format (src/query/) stores each table column this way.
+ */
+template <typename T>
+ResultValue
+toResultArray(const std::vector<T> &column)
+{
+    ResultValue arr = ResultValue::array();
+    for (const T &v : column)
+        arr.push(static_cast<std::uint64_t>(v));
+    return arr;
+}
+
+/**
+ * Parse an array of non-negative integers back into a column.
+ * Returns nullopt when @p v is not an array or any element is not a
+ * non-negative integer (Real/negative elements are rejected so a
+ * column round-trips exactly).
+ */
+std::optional<std::vector<std::uint64_t>>
+uintArrayFromResult(const ResultValue &v);
+
 } // namespace pifetch

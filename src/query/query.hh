@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Filter-aggregate query engine over the columnar event store.
+ *
+ * A deliberately small SQL-flavoured surface, following the Perfetto
+ * trace_processor idiom of querying slices/counters tables instead of
+ * re-running the simulator:
+ *
+ *   select <item>(, <item>)* from <table>
+ *       [where <pred> (and <pred>)*]
+ *       [group by <col>(, <col>)*]
+ *       [window N]
+ *
+ * with items `col`, `count()`, `sum(col)`, `min(col)`, `max(col)`,
+ * `avg(col)`; predicates `col (== | != | < | <= | > | >=) literal`;
+ * literals unsigned integers, event-kind names for the kind column,
+ * counter names for the counter column, and true/false for the flag
+ * columns. `window N` derives a window column (instr / N) usable in
+ * select/where/group by, which is what the windowed differential
+ * oracle groups by.
+ *
+ * Tables and columns:
+ *   slices:   seq instr pc block region kind core trap hit
+ *             prefetched correct [window]
+ *   counters: seq instr core counter value [window]
+ *
+ * `region` is the block address divided by 8 — the paper's 8-block
+ * (512 B) spatial region granularity. Results come back as a
+ * canonical ResultValue table {title, columns, rows} so the existing
+ * JSON/CSV/text renderers apply unchanged; grouped rows are emitted
+ * in lexicographic group-key order, making output byte-stable and
+ * thread-count independent.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/results.hh"
+#include "query/event_store.hh"
+
+namespace pifetch {
+
+/** Which event-store table a query scans. */
+enum class QueryTable : std::uint8_t { Slices, Counters };
+
+/** Aggregate function of a select item. */
+enum class QueryAgg : std::uint8_t { Count, Sum, Min, Max, Avg };
+
+/** Comparison operator of a where predicate. */
+enum class QueryCmp : std::uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+/** One select item: a plain column or an aggregate over one. */
+struct QuerySelect
+{
+    bool aggregate = false;
+    QueryAgg agg = QueryAgg::Count;
+    /** Source column; empty for count(). */
+    std::string column;
+};
+
+/** One conjunct of the where clause. */
+struct QueryPredicate
+{
+    std::string column;
+    QueryCmp op = QueryCmp::Eq;
+    /** Literal, resolved to the column's numeric encoding. */
+    std::uint64_t value = 0;
+};
+
+/** A parsed query. */
+struct Query
+{
+    QueryTable table = QueryTable::Slices;
+    std::vector<QuerySelect> select;
+    std::vector<QueryPredicate> where;
+    std::vector<std::string> groupBy;
+    /** Window size in retired instructions; 0 = no window clause. */
+    InstCount window = 0;
+};
+
+/**
+ * Parse the grammar above (keywords and column names are lowercase).
+ * Returns nullopt and sets @p err on a syntax error, an unknown
+ * table/column/aggregate, or a literal that does not fit its column.
+ */
+std::optional<Query> parseQuery(const std::string &text,
+                                std::string *err = nullptr);
+
+/** Canonical textual rendering (parses back to an equal query). */
+std::string queryText(const Query &q);
+
+/**
+ * Run @p q against @p store. Returns a {title, columns, rows} table
+ * (title = queryText, one column per select item); nullopt and sets
+ * @p err on semantic errors: a window column without a window clause,
+ * a plain select item missing from group by when aggregating, or a
+ * group by without any aggregate.
+ */
+std::optional<ResultValue> runQuery(const EventStore &store,
+                                    const Query &q,
+                                    std::string *err = nullptr);
+
+/**
+ * Canned report reproducing the paper's Fig. 2-style stream-length
+ * profile from stored Fetch slices alone: correct-path fetches are
+ * scanned per core in record order, consecutive misses form streams,
+ * and stream lengths are bucketed by power of two — once counting
+ * streams, once weighted by the misses they contain.
+ */
+ResultValue missStreamLengthTable(const EventStore &store);
+
+} // namespace pifetch

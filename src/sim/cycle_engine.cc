@@ -5,6 +5,7 @@
 
 #include "sim/cycle_engine.hh"
 
+#include "query/event_store.hh"
 #include "sim/prefetcher_dispatch.hh"
 
 namespace pifetch {
@@ -46,10 +47,32 @@ CycleEngine::processReadyFills()
         if (it->second <= now) {
             l1i_.fill(it->first, true);
             ++prefetchFills_;
+            if (eventStore_)
+                eventStore_->recordPrefetchFill(eventsCore_, it->first);
             it = pending_.erase(it);
         } else {
             ++it;
         }
+    }
+}
+
+void
+CycleEngine::recordEventStep(const RetiredInstr &instr)
+{
+    eventStore_->recordRetire(eventsCore_, instr);
+    for (const FetchAccess &ev : events_)
+        eventStore_->recordAccess(eventsCore_, ev,
+                                  ev.correctPath ? instr.pc
+                                                 : blockBase(ev.block));
+    if (eventStore_->counterSampleDue(eventsCore_)) {
+        CounterSnapshot snap;
+        snap.accesses = frontend_.correctPathFetches();
+        snap.misses = frontend_.correctPathMisses();
+        snap.wrongPathFetches = frontend_.wrongPathFetches();
+        snap.mispredicts = frontend_.mispredicts();
+        snap.interrupts = exec_.interrupts();
+        snap.prefetchFills = l1i_.prefetchFills();
+        eventStore_->sampleCounters(eventsCore_, snap);
     }
 }
 
@@ -69,6 +92,9 @@ CycleEngine::advanceWith(P &prefetcher, InstCount n, bool measuring)
             for (const FetchAccess &ev : events_)
                 digestAccess(accessDigest_, ev);
         }
+
+        if (eventStore_)
+            recordEventStep(instr);
 
         const bool perfect = kind_ == PrefetcherKind::Perfect;
 

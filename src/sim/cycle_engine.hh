@@ -28,6 +28,8 @@
 
 namespace pifetch {
 
+class EventStore;
+
 /** Results of one timed run (measurement window only). */
 struct CycleRunResult
 {
@@ -102,6 +104,21 @@ class CycleEngine
         return digests_ ? accessDigest_.value() : 0;
     }
 
+    /**
+     * Start recording retire/fetch/prefetch events and windowed
+     * counter samples into @p store, tagging rows with @p core. Same
+     * opt-in contract and row encoding as TraceEngine::attachEvents,
+     * so the two engines' stores compare row for row (timing-
+     * dependent columns aside). Off by default — no hot-path
+     * overhead; pass nullptr to detach.
+     */
+    void
+    attachEvents(EventStore *store, unsigned core = 0)
+    {
+        eventStore_ = store;
+        eventsCore_ = core;
+    }
+
   private:
     /**
      * Execute @p n instructions, dispatched once on the concrete
@@ -116,6 +133,12 @@ class CycleEngine
 
     /** Install prefetch fills whose latency has elapsed. */
     void processReadyFills();
+
+    /**
+     * Record one instruction's events into the attached store (out of
+     * line: the detached hot path only pays the null check).
+     */
+    void recordEventStep(const RetiredInstr &instr);
 
     SystemConfig cfg_;
     PrefetcherKind kind_;
@@ -141,6 +164,10 @@ class CycleEngine
     bool digests_ = false;
     StreamDigest retireDigest_;
     StreamDigest accessDigest_;
+
+    /** Event recording (src/query/); detached by default. */
+    EventStore *eventStore_ = nullptr;
+    unsigned eventsCore_ = 0;
 };
 
 } // namespace pifetch

@@ -6,6 +6,7 @@
 #include "sim/trace_engine.hh"
 
 #include "pif/pif_prefetcher.hh"
+#include "query/event_store.hh"
 #include "sim/prefetcher_dispatch.hh"
 
 namespace pifetch {
@@ -44,6 +45,9 @@ TraceEngine::advanceWith(P &prefetcher, InstCount n)
                 digestAccess(accessDigest_, ev);
         }
 
+        if (eventStore_)
+            recordEventStep(instr);
+
         for (const FetchAccess &ev : events_) {
             FetchInfo info;
             info.block = ev.block;
@@ -63,9 +67,32 @@ TraceEngine::advanceWith(P &prefetcher, InstCount n)
         drain_.clear();
         prefetcher.drainRequests(drain_, drainPerStep);
         for (Addr b : drain_) {
-            if (!l1i_.probe(b))
+            if (!l1i_.probe(b)) {
                 l1i_.fill(b, true);
+                if (eventStore_)
+                    eventStore_->recordPrefetchFill(eventsCore_, b);
+            }
         }
+    }
+}
+
+void
+TraceEngine::recordEventStep(const RetiredInstr &instr)
+{
+    eventStore_->recordRetire(eventsCore_, instr);
+    for (const FetchAccess &ev : events_)
+        eventStore_->recordAccess(eventsCore_, ev,
+                                  ev.correctPath ? instr.pc
+                                                 : blockBase(ev.block));
+    if (eventStore_->counterSampleDue(eventsCore_)) {
+        CounterSnapshot snap;
+        snap.accesses = frontend_.correctPathFetches();
+        snap.misses = frontend_.correctPathMisses();
+        snap.wrongPathFetches = frontend_.wrongPathFetches();
+        snap.mispredicts = frontend_.mispredicts();
+        snap.interrupts = exec_.interrupts();
+        snap.prefetchFills = l1i_.prefetchFills();
+        eventStore_->sampleCounters(eventsCore_, snap);
     }
 }
 

@@ -23,6 +23,8 @@
 
 namespace pifetch {
 
+class EventStore;
+
 /** Aggregate results of one functional run (measurement window only). */
 struct TraceRunResult
 {
@@ -127,10 +129,34 @@ class TraceEngine
         return digests_ ? accessDigest_.value() : 0;
     }
 
+    /**
+     * Start recording retire/fetch/prefetch events and windowed
+     * counter samples into @p store, tagging rows with @p core (the
+     * multicore runner attaches one store per engine). Same opt-in
+     * contract as enableDigests(): detached (the default) the replay
+     * hot path pays one predictable branch per instruction and
+     * nothing else, so the perf gate sees no overhead. Attach before
+     * the first advance()/run() so both engines record identical
+     * windows; pass nullptr to detach. The store must outlive the
+     * engine or the next attachEvents() call.
+     */
+    void
+    attachEvents(EventStore *store, unsigned core = 0)
+    {
+        eventStore_ = store;
+        eventsCore_ = core;
+    }
+
   private:
     /** The replay loop, monomorphized over the prefetcher type. */
     template <typename P>
     void advanceWith(P &prefetcher, InstCount n);
+
+    /**
+     * Record one instruction's events into the attached store (out of
+     * line: the detached hot path only pays the null check).
+     */
+    void recordEventStep(const RetiredInstr &instr);
 
     SystemConfig cfg_;
     Executor exec_;
@@ -145,6 +171,10 @@ class TraceEngine
     bool digests_ = false;
     StreamDigest retireDigest_;
     StreamDigest accessDigest_;
+
+    /** Event recording (src/query/); detached by default. */
+    EventStore *eventStore_ = nullptr;
+    unsigned eventsCore_ = 0;
 };
 
 } // namespace pifetch

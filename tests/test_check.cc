@@ -6,10 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <set>
+#include <vector>
 
 #include "check/checker.hh"
 #include "common/digest.hh"
+#include "query/event_store.hh"
 
 namespace pifetch {
 namespace {
@@ -473,6 +477,132 @@ TEST(Invariants, DegreeMonotoneCatchesMiscount)
               std::set<std::string>{"nextline-degree-monotone"});
 }
 
+/**
+ * A four-instruction event store for the windowed evaluators: hits on
+ * block 64 except one miss on @p miss_block at every index in
+ * @p miss_at, with counter samples every two retires.
+ */
+EventStore
+miniStore(Addr miss_block, const std::vector<int> &miss_at = {2})
+{
+    EventStoreOptions opts;
+    opts.counterWindow = 2;
+    EventStore s(opts);
+    std::uint64_t misses = 0;
+    for (int i = 0; i < 4; ++i) {
+        RetiredInstr ri;
+        ri.pc = 0x1000 + 4u * static_cast<unsigned>(i);
+        s.recordRetire(0, ri);
+        const bool miss = std::count(miss_at.begin(), miss_at.end(), i);
+        misses += miss;
+        FetchAccess fa;
+        fa.block = miss ? miss_block : 64;
+        fa.hit = !miss;
+        s.recordAccess(0, fa, ri.pc);
+        if (s.counterSampleDue(0)) {
+            CounterSnapshot snap;
+            snap.accesses = static_cast<std::uint64_t>(i) + 1;
+            snap.misses = misses;
+            s.sampleCounters(0, snap);
+        }
+    }
+    return s;
+}
+
+TEST(Invariants, WindowedCountersCatchSkewAndReportFirstOnly)
+{
+    std::vector<CheckFailure> out;
+    checkWindowedCounters(miniStore(64), miniStore(64), true, out);
+    checkWindowedCounters(miniStore(64), miniStore(64), false, out);
+    EXPECT_TRUE(out.empty());
+
+    EventStore skewed = miniStore(64);
+    skewed.injectCounterSkew(EventCounter::Accesses, 0, 3);
+    skewed.injectCounterSkew(EventCounter::Mispredicts, 1, 1);
+    checkWindowedCounters(miniStore(64), skewed, true, out);
+    // Two samples disagree, but only the FIRST divergence is reported
+    // — that is what localizes a bug in simulated time.
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].invariant, "windowed-counter-equality");
+    EXPECT_NE(out[0].detail.find("accesses diverges at instr 2"),
+              std::string::npos)
+        << out[0].detail;
+    EXPECT_NE(out[0].detail.find("cycle=5"), std::string::npos)
+        << out[0].detail;
+}
+
+TEST(Invariants, WindowedCountersHonourFillTimingExclusion)
+{
+    EventStore skewed = miniStore(64);
+    skewed.injectCounterSkew(EventCounter::Misses, 0, 1);
+    std::vector<CheckFailure> out;
+    // Misses (and prefetch fills) are fill-timing dependent: they only
+    // count with instant fills, mirroring the whole-run oracle.
+    checkWindowedCounters(miniStore(64), skewed, false, out);
+    EXPECT_TRUE(out.empty());
+    checkWindowedCounters(miniStore(64), skewed, true, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NE(out[0].detail.find("misses diverges"),
+              std::string::npos)
+        << out[0].detail;
+}
+
+TEST(Invariants, WindowedCountersCatchScheduleDrift)
+{
+    // A store sampled at a different stride diverges at row 0.
+    EventStoreOptions coarse;
+    coarse.counterWindow = 4;
+    EventStore other(coarse);
+    for (int i = 0; i < 4; ++i) {
+        RetiredInstr ri;
+        ri.pc = 0x1000 + 4u * static_cast<unsigned>(i);
+        other.recordRetire(0, ri);
+        if (other.counterSampleDue(0))
+            other.sampleCounters(0, CounterSnapshot{});
+    }
+    std::vector<CheckFailure> out;
+    checkWindowedCounters(miniStore(64), other, true, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NE(out[0].detail.find("schedules diverge"),
+              std::string::npos)
+        << out[0].detail;
+
+    // A matching prefix with missing trailing samples is a count
+    // mismatch, not a silent pass.
+    out.clear();
+    EventStore shorter(EventStoreOptions{});
+    checkWindowedCounters(miniStore(64), shorter, true, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NE(out[0].detail.find("counter-sample counts differ"),
+              std::string::npos)
+        << out[0].detail;
+}
+
+TEST(Invariants, RegionMissProfileLocalizesTheFirstBadRegion)
+{
+    std::vector<CheckFailure> out;
+    checkRegionMissProfile(miniStore(64), miniStore(64), out);
+    EXPECT_TRUE(out.empty());
+
+    // Blocks 64 and 128 are 8-block regions 8 and 16: a miss moved
+    // across regions names the region seen by only one engine.
+    checkRegionMissProfile(miniStore(64), miniStore(128), out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].invariant, "region-miss-profile");
+    EXPECT_NE(
+        out[0].detail.find("region 8 misses only in the trace engine"),
+        std::string::npos)
+        << out[0].detail;
+
+    out.clear();
+    checkRegionMissProfile(miniStore(64), miniStore(64, {2, 3}), out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_NE(out[0].detail.find(
+                  "region 8 miss counts diverge: trace=1 cycle=2"),
+              std::string::npos)
+        << out[0].detail;
+}
+
 // ------------------------------------------------------------ shrinker
 
 TEST(Shrinker, PlantedViolationShrinksToCanonicalMinimum)
@@ -520,6 +650,49 @@ TEST(Shrinker, PlantedViolationShrinksToCanonicalMinimum)
 
     // Deterministic: shrinking the same failure twice converges to
     // the identical scenario.
+    const Scenario min2 = shrinkScenario(sc, still, nullptr);
+    EXPECT_EQ(toJson(toResult(min1), 0), toJson(toResult(min2), 0));
+}
+
+TEST(Shrinker, WindowMiscountShrinksToCanonicalFloor)
+{
+    // The windowed-counter oracle must survive shrinking: the skew
+    // lands on the second 1024-instruction sample, which exists in
+    // every probe down to the 4000-instruction measure floor, so the
+    // shrinker reaches the same canonical point as the other faults
+    // and the floor scenario still names instruction window 2048.
+    Scenario sc = scenarioFromSeed(1);
+    sc.warmup = 2'000;
+    sc.measure = 8'000;
+
+    const auto still = [](const Scenario &cand) {
+        for (const CheckFailure &f :
+             runScenario(cand, FaultInjection::WindowMiscount)) {
+            if (f.invariant == "windowed-counter-equality")
+                return true;
+        }
+        return false;
+    };
+
+    unsigned steps = 0;
+    const Scenario min1 = shrinkScenario(sc, still, &steps);
+    EXPECT_GT(steps, 0u);
+    EXPECT_EQ(min1.measure, 4'000u);
+    EXPECT_EQ(min1.warmup, 0u);
+    EXPECT_EQ(min1.threads, 1u);
+    EXPECT_EQ(min1.cores, 1u);
+    EXPECT_EQ(min1.kind, PrefetcherKind::None);
+    EXPECT_TRUE(still(min1));
+    EXPECT_FALSE(validateScenario(min1).has_value());
+
+    bool named_window = false;
+    for (const CheckFailure &f :
+         runScenario(min1, FaultInjection::WindowMiscount)) {
+        if (f.detail.find("instr 2048") != std::string::npos)
+            named_window = true;
+    }
+    EXPECT_TRUE(named_window);
+
     const Scenario min2 = shrinkScenario(sc, still, nullptr);
     EXPECT_EQ(toJson(toResult(min1), 0), toJson(toResult(min2), 0));
 }
@@ -596,13 +769,15 @@ TEST(Shrinker, AcceptsOnlyMovesThatKeepTheFailure)
 
 TEST(Checker, FaultKeysRoundTrip)
 {
-    for (const FaultInjection f :
-         {FaultInjection::None, FaultInjection::DegreeMiscount,
-          FaultInjection::CoverageDrop}) {
+    const std::vector<FaultInjection> all = allFaultInjections();
+    EXPECT_EQ(all.size(), 4u);
+    for (const FaultInjection f : all) {
         const auto parsed = faultFromKey(faultKey(f));
         ASSERT_TRUE(parsed.has_value());
         EXPECT_EQ(*parsed, f);
     }
+    EXPECT_EQ(faultKey(FaultInjection::WindowMiscount),
+              "window-miscount");
     EXPECT_FALSE(faultFromKey("degree").has_value());
 }
 

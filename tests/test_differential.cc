@@ -15,15 +15,68 @@
 
 #include <algorithm>
 
+#include "check/checker.hh"
 #include "check/invariants.hh"
 #include "sim/multicore.hh"
 #include "sim/workloads.hh"
+#include "trace/workload_spec.hh"
 
 namespace pifetch {
 namespace {
 
 constexpr InstCount kWarmup = 60'000;
 constexpr InstCount kMeasure = 120'000;
+
+/**
+ * The event-store shape the windowed oracles use: a fine counter
+ * stride, and no prefetch slices (their timing differs across engines,
+ * which would misalign the slice streams row for row).
+ */
+EventStoreOptions
+windowedOptions()
+{
+    EventStoreOptions opts;
+    opts.counterWindow = 1'024;
+    opts.recordPrefetches = false;
+    return opts;
+}
+
+/**
+ * Drive one workload through both engines with attached event stores
+ * and apply the windowed differential oracles.
+ */
+void
+runWindowedOracles(const Program &prog, const ExecutorConfig &exec,
+                   PrefetcherKind kind, const std::string &label)
+{
+    const SystemConfig cfg{};
+    EventStore trace_events(windowedOptions());
+    TraceEngine trace_engine(cfg, prog, exec,
+                             makePrefetcher(kind, cfg));
+    trace_engine.attachEvents(&trace_events);
+    trace_engine.run(kWarmup, kMeasure);
+
+    EventStore cycle_events(windowedOptions());
+    CycleEngine cycle_engine(cfg, prog, exec, kind);
+    cycle_engine.attachEvents(&cycle_events);
+    cycle_engine.run(kWarmup, kMeasure);
+
+    // Recording must actually have happened — two empty stores would
+    // compare equal and verify nothing.
+    EXPECT_GT(trace_events.sliceCount(), 0u) << label;
+    EXPECT_GT(trace_events.counterCount(), 0u) << label;
+
+    std::vector<CheckFailure> failures;
+    const bool instant = kind == PrefetcherKind::None;
+    checkWindowedCounters(trace_events, cycle_events, instant,
+                          failures);
+    if (instant)
+        checkRegionMissProfile(trace_events, cycle_events, failures);
+    for (const CheckFailure &f : failures) {
+        ADD_FAILURE() << label << "/" << prefetcherName(kind) << ": "
+                      << f.invariant << ": " << f.detail;
+    }
+}
 
 class PresetDifferential
     : public ::testing::TestWithParam<ServerWorkload>
@@ -113,6 +166,54 @@ TEST_P(PresetDifferential, MulticoreCycleIsThreadCountInvariant)
         EXPECT_DOUBLE_EQ(a.perCore[core].uipc, b.perCore[core].uipc)
             << workloadKey(w) << " core " << core;
     }
+}
+
+TEST_P(PresetDifferential, WindowedOraclesAgreeAcrossEngines)
+{
+    const ServerWorkload w = GetParam();
+    const Program prog = buildWorkloadProgram(w);
+    for (const PrefetcherKind kind :
+         {PrefetcherKind::None, PrefetcherKind::Pif})
+        runWindowedOracles(prog, executorConfigFor(w), kind,
+                           workloadKey(w));
+}
+
+TEST(ZooDifferential, WindowedOraclesAgreeOnZooSpecs)
+{
+    const std::vector<WorkloadZooEntry> zoo = workloadZoo();
+    ASSERT_GE(zoo.size(), 2u);
+    // The first two specs in key order; the fuzz harness sweeps the
+    // rest.
+    for (std::size_t i = 0; i < 2; ++i) {
+        std::string err;
+        auto spec = loadWorkloadSpecFile(zoo[i].path, &err);
+        ASSERT_TRUE(spec.has_value()) << zoo[i].key << ": " << err;
+        const WorkloadRef ref = workloadRefFromSpec(std::move(*spec));
+        const Program prog = ref.buildProgram();
+        const ExecutorConfig exec = ref.executorConfig();
+        for (const PrefetcherKind kind :
+             {PrefetcherKind::None, PrefetcherKind::Pif})
+            runWindowedOracles(prog, exec, kind, zoo[i].key);
+    }
+}
+
+TEST(WindowedFault, PlantedMiscountIsLocalizedToItsWindow)
+{
+    // The injected skew hits the cycle store's second accesses sample:
+    // with the oracle's 1024-instruction stride that is instruction
+    // window 2048, and the failure must name exactly that window (the
+    // whole-run totals stay equal, so no other oracle may trip).
+    Scenario sc = scenarioFromSeed(1);
+    sc.warmup = 2'000;
+    sc.measure = 8'000;
+    const std::vector<CheckFailure> failures =
+        runScenario(sc, FaultInjection::WindowMiscount);
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0].invariant, "windowed-counter-equality");
+    EXPECT_NE(
+        failures[0].detail.find("accesses diverges at instr 2048"),
+        std::string::npos)
+        << failures[0].detail;
 }
 
 INSTANTIATE_TEST_SUITE_P(
