@@ -1283,14 +1283,16 @@ cmdQuery(int argc, char **argv)
     } else {
         const Program prog = workload->buildProgram();
         const ExecutorConfig exec = workload->executorConfig();
+        ObserverConfig obs;
+        obs.events = &store;
         if (engineCycle) {
             CycleEngine engine(cfg, prog, exec, kind);
-            engine.attachEvents(&store);
+            engine.attachObservers(obs);
             engine.run(warmup, measure);
         } else {
             TraceEngine engine(cfg, prog, exec,
                                makePrefetcher(kind, cfg));
-            engine.attachEvents(&store);
+            engine.attachObservers(obs);
             engine.run(warmup, measure);
         }
         meta.set("workload", workload->key());

@@ -5,6 +5,8 @@
 
 #include "cache/cache.hh"
 
+#include <algorithm>
+
 #include "common/bitops.hh"
 
 namespace pifetch {
@@ -29,20 +31,13 @@ Cache::Cache(const CacheConfig &cfg, ReplacementKind repl,
     if (ways_ == 0)
         fatalError("cache '" + cfg.name + "': associativity must be >= 1");
     setShift_ = static_cast<unsigned>(bits::countrZero(sets_));
-    lines_.resize(sets_ * ways_);
-    repl_ = makeReplacement(repl, sets_, ways_, seed);
-}
-
-unsigned
-Cache::findWay(std::uint64_t set, Addr tag) const
-{
-    const std::uint64_t base = set * ways_;
-    for (unsigned w = 0; w < ways_; ++w) {
-        const Line &line = lines_[base + w];
-        if (line.valid && line.tag == tag)
-            return w;
-    }
-    return ways_;
+    tags_.assign(sets_ * ways_, invalidAddr);
+    valid_.assign(sets_ * ways_, 0);
+    prefetched_.assign(sets_ * ways_, 0);
+    if (repl == ReplacementKind::LRU)
+        stamp_.assign(sets_ * ways_, 0);
+    else
+        repl_ = makeReplacement(repl, sets_, ways_, seed);
 }
 
 Cache::AccessResult
@@ -58,22 +53,16 @@ Cache::access(Addr block)
         return res;
     }
 
-    Line &line = lines_[set * ways_ + way];
+    const std::uint64_t idx = set * ways_ + way;
     res.hit = true;
-    if (line.prefetched) {
+    if (prefetched_[idx]) {
         res.firstDemandOfPrefetch = true;
-        line.prefetched = false;
+        prefetched_[idx] = 0;
         ++usefulPrefetches_;
     }
-    repl_->touch(set, way);
+    touchWay(set, way);
     ++hits_;
     return res;
-}
-
-bool
-Cache::probe(Addr block) const
-{
-    return findWay(setOf(block), tagOf(block)) != ways_;
 }
 
 Addr
@@ -82,22 +71,22 @@ Cache::fill(Addr block, bool prefetched)
     const std::uint64_t set = setOf(block);
     const Addr tag = tagOf(block);
     unsigned way = findWay(set, tag);
+    const std::uint64_t base = set * ways_;
 
     if (way != ways_) {
         // Already present (e.g. demand fill racing a prefetch): just
         // refresh recency; do not downgrade an existing demand line to
         // prefetched state.
-        Line &line = lines_[set * ways_ + way];
-        line.prefetched = line.prefetched && prefetched;
-        repl_->touch(set, way);
+        prefetched_[base + way] =
+            prefetched_[base + way] && prefetched ? 1 : 0;
+        touchWay(set, way);
         return invalidAddr;
     }
 
     // Prefer an invalid way before consulting the replacement policy.
-    const std::uint64_t base = set * ways_;
     way = ways_;
     for (unsigned w = 0; w < ways_; ++w) {
-        if (!lines_[base + w].valid) {
+        if (!valid_[base + w]) {
             way = w;
             break;
         }
@@ -105,21 +94,19 @@ Cache::fill(Addr block, bool prefetched)
 
     Addr victim = invalidAddr;
     if (way == ways_) {
-        way = repl_->victim(set);
-        Line &old = lines_[base + way];
-        victim = (old.tag << setShift_) | set;
-        if (old.prefetched)
+        way = victimWay(set);
+        victim = (tags_[base + way] << setShift_) | set;
+        if (prefetched_[base + way])
             ++unusedPrefetches_;
         ++evictions_;
     }
 
-    Line &line = lines_[base + way];
-    line.tag = tag;
-    line.valid = true;
-    line.prefetched = prefetched;
+    tags_[base + way] = tag;
+    valid_[base + way] = 1;
+    prefetched_[base + way] = prefetched ? 1 : 0;
     if (prefetched)
         ++prefetchFills_;
-    repl_->touch(set, way);
+    touchWay(set, way);
     return victim;
 }
 
@@ -130,12 +117,12 @@ Cache::invalidate(Addr block)
     const unsigned way = findWay(set, tagOf(block));
     if (way == ways_)
         return false;
-    Line &line = lines_[set * ways_ + way];
-    if (line.prefetched)
+    const std::uint64_t idx = set * ways_ + way;
+    if (prefetched_[idx])
         ++unusedPrefetches_;
-    line.valid = false;
-    line.prefetched = false;
-    line.tag = invalidAddr;
+    valid_[idx] = 0;
+    prefetched_[idx] = 0;
+    tags_[idx] = invalidAddr;
     return true;
 }
 
@@ -146,23 +133,27 @@ Cache::isPrefetched(Addr block) const
     const unsigned way = findWay(set, tagOf(block));
     if (way == ways_)
         return false;
-    return lines_[set * ways_ + way].prefetched;
+    return prefetched_[set * ways_ + way] != 0;
 }
 
 void
 Cache::flush()
 {
-    for (Line &line : lines_)
-        line = Line{};
-    repl_->reset();
+    std::fill(tags_.begin(), tags_.end(), invalidAddr);
+    std::fill(valid_.begin(), valid_.end(), 0);
+    std::fill(prefetched_.begin(), prefetched_.end(), 0);
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    tick_ = 0;
+    if (repl_)
+        repl_->reset();
 }
 
 std::uint64_t
 Cache::validLines() const
 {
     std::uint64_t n = 0;
-    for (const Line &line : lines_)
-        n += line.valid ? 1 : 0;
+    for (std::uint8_t v : valid_)
+        n += v ? 1 : 0;
     return n;
 }
 

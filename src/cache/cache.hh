@@ -8,6 +8,14 @@
  * can model miss latency themselves. Timing lives in the engines, not
  * here, matching the paper's split between trace studies and
  * cycle-accurate runs.
+ *
+ * The tag store is structure-of-arrays: tags, valid bits and prefetch
+ * bits live in parallel vectors so the way scan in probe()/access() —
+ * the hottest loop in batched replay — reads one dense tag run per set
+ * and resolves the match with a conditional move instead of an early
+ * exit branch per way. LRU recency is kept inline (per-line stamps)
+ * with semantics identical to LruPolicy; the virtual policy object is
+ * instantiated only for Random replacement.
  */
 
 #pragma once
@@ -56,7 +64,12 @@ class Cache
     AccessResult access(Addr block);
 
     /** Tag probe with no state change (used by prefetch filtering). */
-    bool probe(Addr block) const;
+    bool
+    probe(Addr block) const
+    {
+        const std::uint64_t set = setOf(block);
+        return findWay(set, tagOf(block)) != ways_;
+    }
 
     /**
      * Install @p block. Evicts the replacement victim if the set is
@@ -110,23 +123,75 @@ class Cache
     void resetStats() { stats_.resetAll(); }
 
   private:
-    struct Line
-    {
-        Addr tag = invalidAddr;
-        bool valid = false;
-        bool prefetched = false;
-    };
-
     std::uint64_t setOf(Addr block) const { return block & (sets_ - 1); }
     Addr tagOf(Addr block) const { return block >> setShift_; }
 
-    /** Find the way holding @p block in its set, or ways() if absent. */
-    unsigned findWay(std::uint64_t set, Addr tag) const;
+    /**
+     * Find the way holding @p tag in @p set, or ways() if absent.
+     *
+     * Branch-light: scans the full set unconditionally and selects the
+     * matching way with a conditional move (tags are unique within a
+     * set, so last-writer-wins is exact). The explicit valid test is
+     * ANDed into the compare rather than relying on an invalid-tag
+     * sentinel so degenerate one-set configurations cannot alias.
+     */
+    unsigned
+    findWay(std::uint64_t set, Addr tag) const
+    {
+        const std::uint64_t base = set * ways_;
+        unsigned way = ways_;
+        for (unsigned w = 0; w < ways_; ++w) {
+            const bool match =
+                (valid_[base + w] != 0) & (tags_[base + w] == tag);
+            way = match ? w : way;
+        }
+        return way;
+    }
+
+    /** Record a use of @p way (inline LRU stamp or policy object). */
+    void
+    touchWay(std::uint64_t set, unsigned way)
+    {
+        if (repl_)
+            repl_->touch(set, way);
+        else
+            stamp_[set * ways_ + way] = ++tick_;
+    }
+
+    /** Choose the eviction victim way in @p set. */
+    unsigned
+    victimWay(std::uint64_t set)
+    {
+        if (repl_)
+            return repl_->victim(set);
+        // Inline true-LRU: lowest stamp wins, first index on ties —
+        // exactly LruPolicy::victim.
+        const std::uint64_t base = set * ways_;
+        unsigned best = 0;
+        std::uint64_t best_stamp = stamp_[base];
+        for (unsigned w = 1; w < ways_; ++w) {
+            if (stamp_[base + w] < best_stamp) {
+                best_stamp = stamp_[base + w];
+                best = w;
+            }
+        }
+        return best;
+    }
 
     std::uint64_t sets_;
     unsigned ways_;
     unsigned setShift_;
-    std::vector<Line> lines_;
+
+    /** Parallel per-line arrays, indexed set * ways_ + way. */
+    std::vector<Addr> tags_;
+    std::vector<std::uint8_t> valid_;
+    std::vector<std::uint8_t> prefetched_;
+
+    /** Inline LRU state (unused when a policy object is installed). */
+    std::vector<std::uint64_t> stamp_;
+    std::uint64_t tick_ = 0;
+
+    /** Non-LRU replacement only (null selects the inline LRU). */
     std::unique_ptr<ReplacementPolicy> repl_;
 
     StatGroup stats_;

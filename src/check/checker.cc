@@ -55,9 +55,10 @@ traceRun(const Program &prog, const ExecutorConfig &exec,
          InstCount measure, EventStore *events = nullptr)
 {
     TraceEngine engine(cfg, prog, exec, makePrefetcher(kind, cfg));
-    engine.enableDigests();
-    if (events)
-        engine.attachEvents(events);
+    ObserverConfig obs;
+    obs.digests = true;
+    obs.events = events;
+    engine.attachObservers(obs);
     return engine.run(warmup, measure);
 }
 
@@ -130,7 +131,9 @@ multicoreRun(const Scenario &sc, unsigned threads)
         cfg.seed = sc.cfg.seed + core * 7919;
         TraceEngine engine(cfg, prog, exec,
                            makePrefetcher(sc.kind, cfg));
-        engine.enableDigests();
+        ObserverConfig obs;
+        obs.digests = true;
+        engine.attachObservers(obs);
         out[core] = engine.run(sc.warmup / 2, sc.measure / 2);
     });
     return out;
@@ -225,8 +228,10 @@ runScenario(const Scenario &sc, FaultInjection inject)
     {
         EventStore cycleEvents(oracleEventOptions());
         CycleEngine engine(sc.cfg, prog, exec, sc.kind);
-        engine.enableDigests();
-        engine.attachEvents(&cycleEvents);
+        ObserverConfig obs;
+        obs.digests = true;
+        obs.events = &cycleEvents;
+        engine.attachObservers(obs);
         const CycleRunResult cycle = engine.run(sc.warmup, sc.measure);
         const bool perfect = sc.kind == PrefetcherKind::Perfect;
         const bool instant = perfect || sc.kind == PrefetcherKind::None;

@@ -102,9 +102,25 @@ void checkRegionMissProfile(const EventStore &trace,
                             std::vector<CheckFailure> &out);
 
 /**
+ * Shared counter-equality core over the RunCounters base both engine
+ * result structs inherit: retired instructions, accesses, wrong-path
+ * fetches, mispredicts, interrupts and both stream digests must be
+ * bit-identical; @p include_misses adds the miss count (exclude it
+ * when the compared runs may legitimately differ in fill timing or
+ * cache configuration). Reported under @p invariant. Works across
+ * engines — any TraceRunResult/CycleRunResult pair slices to its
+ * counter base.
+ */
+void checkCountersIdentical(const RunCounters &a, const RunCounters &b,
+                            const std::string &invariant,
+                            bool include_misses,
+                            std::vector<CheckFailure> &out);
+
+/**
  * Bit-identity of two functional runs that must not differ at all
  * (thread-count invariance, determinism). Reported under
- * @p invariant.
+ * @p invariant. Counter base via checkCountersIdentical(), plus the
+ * trace-specific prefetch counters and coverage ratios.
  */
 void checkTraceIdentical(const TraceRunResult &a, const TraceRunResult &b,
                          const std::string &invariant,

@@ -85,6 +85,23 @@ class Frontend
      */
     bool step(const RetiredInstr &instr, std::vector<FetchAccess> &events);
 
+    /**
+     * True when step() would change no front-end state and emit no
+     * events for an instruction with these fields: a plain instruction
+     * at an unchanged trap level delivered from the current block.
+     * The batched engines use this to skip the out-of-line step()
+     * call; currentBlockTagged() then supplies its return value.
+     */
+    bool
+    stepIsNoop(Addr block, InstrKind kind, TrapLevel tl) const
+    {
+        return kind == InstrKind::Plain && tl == prevTl_ &&
+               block == curBlock_;
+    }
+
+    /** Sticky tag of the current block's delivery (see stepIsNoop). */
+    bool currentBlockTagged() const { return curBlockTagged_; }
+
     /** Mispredicted control transfers observed. */
     std::uint64_t mispredicts() const { return mispredicts_; }
     /** Control transfers predicted. */

@@ -71,7 +71,8 @@ isHotPathFile(const std::string &path)
         "src/sim/trace_engine.hh",        "src/sim/trace_engine.cc",
         "src/sim/cycle_engine.hh",        "src/sim/cycle_engine.cc",
         "src/sim/prefetcher_dispatch.hh", "src/common/flat_hash.hh",
-        "src/common/digest.hh",
+        "src/common/digest.hh",           "src/sim/observer.hh",
+        "src/sim/run_counters.hh",        "src/trace/record.hh",
     };
     for (const char *p : prefixes)
         if (startsWith(path, p))
@@ -91,7 +92,7 @@ isEngineFile(const std::string &path)
         "src/sim/cycle_engine.hh",        "src/sim/cycle_engine.cc",
         "src/sim/prefetcher_dispatch.hh", "src/core/frontend.hh",
         "src/core/frontend.cc",           "src/core/cycle_core.hh",
-        "src/core/cycle_core.cc",
+        "src/core/cycle_core.cc",         "src/sim/observer.hh",
     };
     for (const char *f : files)
         if (path == f)

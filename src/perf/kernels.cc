@@ -77,6 +77,38 @@ runTraceDecode(const PerfOptions &opts)
     return t;
 }
 
+// -------------------------------------------------- trace-decode-soa
+
+KernelTiming
+runTraceDecodeSoa(const PerfOptions &opts)
+{
+    const std::uint64_t n = scaled(512 * 1024, opts.scale);
+    const std::vector<RetiredInstr> records = generateStream(opts, n);
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("pifetch-perf-" + std::to_string(::getpid()) + "-soa.trace"))
+            .string();
+    if (!writeTrace(path, records))
+        fatalError("perf: cannot write scratch trace " + path);
+    const std::uint64_t bytes = std::filesystem::file_size(path);
+
+    RecordBatch batch;
+    KernelTiming t = measureKernel(
+        "trace-decode-soa", opts.protocol, n, bytes, [&] {
+            TraceBatchReader reader;
+            if (!reader.open(path))
+                fatalError("perf: cannot reopen scratch trace " + path);
+            std::uint64_t seen = 0;
+            while (reader.next(batch))
+                seen += batch.size;
+            if (seen != n || reader.failed())
+                fatalError("perf: SoA trace decode failed mid-benchmark");
+        });
+    std::remove(path.c_str());
+    return t;
+}
+
 // ------------------------------------------------------ trace-replay
 
 KernelTiming
@@ -94,6 +126,49 @@ runTraceReplay(const PerfOptions &opts)
     return measureKernel("trace-replay", opts.protocol, instrs,
                          instrs * instrBytes,
                          [&] { engine.advance(instrs); });
+}
+
+// ---------------------------------------------------- replay-batched
+
+KernelTiming
+runReplayBatched(const PerfOptions &opts)
+{
+    const std::uint64_t instrs = scaled(400 * 1024, opts.scale);
+    const std::vector<RetiredInstr> records =
+        generateStream(opts, instrs);
+
+    // Pre-pack the stream into SoA batches so the timed region
+    // measures the batched pipeline itself (replayBatch), with decode
+    // taken out of the loop — the executor-integrated counterpart is
+    // trace-replay.
+    std::vector<RecordBatch> batches;
+    batches.reserve(instrs / recordBatchLen + 1);
+    std::size_t pos = 0;
+    while (pos < records.size()) {
+        RecordBatch b;
+        b.reserve(recordBatchLen);
+        const std::size_t n =
+            std::min<std::size_t>(recordBatchLen, records.size() - pos);
+        for (std::size_t i = 0; i < n; ++i)
+            b.push(records[pos + i]);
+        b.computeBlocks();
+        batches.push_back(std::move(b));
+        pos += n;
+    }
+
+    SystemConfig cfg;
+    cfg.seed = opts.seed;
+    const Program prog = buildWorkloadProgram(opts.workload);
+    TraceEngine engine(cfg, prog, executorConfigFor(opts.workload),
+                       std::make_unique<PifPrefetcher>(cfg.pif));
+    // Prime predictors and the L1-I with one untimed pass.
+    for (const RecordBatch &b : batches)
+        engine.replayBatch(b);
+    return measureKernel("replay-batched", opts.protocol, instrs,
+                         instrs * instrBytes, [&] {
+                             for (const RecordBatch &b : batches)
+                                 engine.replayBatch(b);
+                         });
 }
 
 // --------------------------------------------------------- pif-train
@@ -203,9 +278,15 @@ perfKernels()
         {"trace-decode",
          "chunked binary trace read (records/sec, bytes/sec)",
          runTraceDecode},
+        {"trace-decode-soa",
+         "streamed trace decode into SoA record batches",
+         runTraceDecodeSoa},
         {"trace-replay",
          "functional engine + PIF steady-state replay (instrs/sec)",
          runTraceReplay},
+        {"replay-batched",
+         "batched pipeline on pre-decoded SoA batches (instrs/sec)",
+         runReplayBatched},
         {"pif-train",
          "PIF train+predict on a pre-generated retire stream",
          runPifTrain},

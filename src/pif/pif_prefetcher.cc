@@ -95,9 +95,10 @@ PifPrefetcher::reset()
     }
     for (StreamAddressBuffer &sab : sabs_)
         sab.deactivate();
+    streamLo_ = invalidAddr;
+    streamHi_ = 0;
     sabTick_ = 0;
     queue_.clear();
-    queued_.clear();
     for (unsigned tl = 0; tl < maxTrapLevels; ++tl) {
         covered_[tl] = 0;
         total_[tl] = 0;

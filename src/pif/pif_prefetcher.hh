@@ -12,7 +12,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -20,6 +19,7 @@
 #include "common/flat_hash.hh"
 #include "pif/history_buffer.hh"
 #include "pif/index_table.hh"
+#include "pif/prefetch_queue.hh"
 #include "pif/sab.hh"
 #include "pif/spatial_compactor.hh"
 #include "pif/temporal_compactor.hh"
@@ -53,6 +53,17 @@ class PifPrefetcher final : public Prefetcher
     // monomorphized loops can fold them in without LTO.
     void onFetchAccess(const FetchInfo &info) override;
     void onRetire(const RetiredInstr &instr, bool tagged) override;
+
+    /**
+     * Same-block retire runs hit the spatial compactor's same-block
+     * early-out on every instruction, so only its PC counter moves.
+     */
+    void
+    onRetireSameBlockRun(TrapLevel tl, std::uint32_t count) override
+    {
+        chains_[chainFor(tl)].spatial->observeSameBlock(count);
+    }
+
     unsigned drainRequests(std::vector<Addr> &out, unsigned max) override;
     void reset() override;
     void resetStats() override;
@@ -102,9 +113,6 @@ class PifPrefetcher final : public Prefetcher
     }
 
   private:
-    /** Queue depth bound: drop candidates beyond this (hardware queue). */
-    static constexpr std::size_t prefetchQueueCap = 256;
-
     /** Recording chain for one trap level. */
     struct Chain
     {
@@ -124,32 +132,37 @@ class PifPrefetcher final : public Prefetcher
     /** Route a completed spatial region down its chain. */
     void recordRegion(Chain &chain, const SpatialRegion &rec);
 
-    /** Enqueue a prefetch candidate (dedup against the queue). */
-    void enqueue(Addr block);
+    /** Recompute the pooled SAB coverage bounds (see onFetchAccess). */
+    void
+    refreshStreamBounds()
+    {
+        Addr lo = invalidAddr;
+        Addr hi = 0;
+        for (const StreamAddressBuffer &sab : sabs_) {
+            lo = std::min(lo, sab.boundLo());
+            hi = std::max(hi, sab.boundHi());
+        }
+        streamLo_ = lo;
+        streamHi_ = hi;
+    }
 
     PifConfig cfg_;
     std::vector<Chain> chains_;
     std::vector<StreamAddressBuffer> sabs_;
     std::uint64_t sabTick_ = 0;
 
-    std::deque<Addr> queue_;
-    AddrSet queued_;
+    /** Pooled fast-reject bounds over all SABs ([invalidAddr, 0] when
+     * no stream is live, which rejects every block). */
+    Addr streamLo_ = invalidAddr;
+    Addr streamHi_ = 0;
+
+    PrefetchQueue queue_;
     std::vector<Addr> scratch_;  //!< SAB emission buffer
 
     std::uint64_t covered_[maxTrapLevels] = {0, 0};
     std::uint64_t total_[maxTrapLevels] = {0, 0};
     std::uint64_t sabAllocations_ = 0;
 };
-
-inline void
-PifPrefetcher::enqueue(Addr block)
-{
-    if (queued_.count(block) || queue_.size() >= prefetchQueueCap)
-        return;
-    queue_.push_back(block);
-    queued_.insert(block);
-    ++issued_;
-}
 
 inline void
 PifPrefetcher::recordRegion(Chain &chain, const SpatialRegion &rec)
@@ -177,13 +190,23 @@ inline void
 PifPrefetcher::onFetchAccess(const FetchInfo &info)
 {
     // 1. Stream advancement: active SABs watch every front-end fetch.
+    // Pool-level fast reject first: [streamLo_, streamHi_] bounds the
+    // union of every SAB's own coverage bounds, so an access that
+    // belongs to no stream (the common case) takes one compare pair
+    // instead of the per-SAB scans. The bounds are a superset, never a
+    // filter on matches; they move only when some SAB's window changes
+    // (a match or an allocation), which is when we recompute.
     scratch_.clear();
     bool in_stream = false;
-    for (StreamAddressBuffer &sab : sabs_) {
-        if (sab.onAccess(info.block, scratch_)) {
-            in_stream = true;
-            sab.touch(++sabTick_);
+    if (info.block >= streamLo_ && info.block <= streamHi_) {
+        for (StreamAddressBuffer &sab : sabs_) {
+            if (sab.onAccess(info.block, scratch_)) {
+                in_stream = true;
+                sab.touch(++sabTick_);
+            }
         }
+        if (in_stream)
+            refreshStreamBounds();
     }
 
     // Coverage accounting (correct-path fetches only).
@@ -192,7 +215,7 @@ PifPrefetcher::onFetchAccess(const FetchInfo &info)
                                                  maxTrapLevels - 1);
         ++total_[tl];
         const bool covered = (info.hit && info.wasPrefetched) ||
-                             in_stream || queued_.count(info.block) != 0;
+                             in_stream || queue_.contains(info.block);
         if (covered)
             ++covered_[tl];
     }
@@ -216,26 +239,21 @@ PifPrefetcher::onFetchAccess(const FetchInfo &info)
                 victim->allocate(chain.history.get(), *seq, scratch_);
                 victim->touch(++sabTick_);
                 ++sabAllocations_;
+                refreshStreamBounds();
             }
         }
     }
 
-    for (Addr b : scratch_)
-        enqueue(b);
+    for (Addr b : scratch_) {
+        if (queue_.push(b))
+            ++issued_;
+    }
 }
 
 inline unsigned
 PifPrefetcher::drainRequests(std::vector<Addr> &out, unsigned max)
 {
-    unsigned n = 0;
-    while (n < max && !queue_.empty()) {
-        const Addr b = queue_.front();
-        queue_.pop_front();
-        queued_.erase(b);
-        out.push_back(b);
-        ++n;
-    }
-    return n;
+    return queue_.drain(out, max);
 }
 
 } // namespace pifetch

@@ -5,6 +5,10 @@
 
 #include "pif/sab.hh"
 
+#include <algorithm>
+
+#include "common/bitops.hh"
+
 namespace pifetch {
 
 StreamAddressBuffer::StreamAddressBuffer(unsigned window_regions,
@@ -20,31 +24,64 @@ StreamAddressBuffer::emitRegion(const SpatialRegion &rec,
     const Addr trigger = rec.triggerBlock();
     // Left-to-right bit-vector traversal (Section 4.3): preceding
     // blocks in ascending offset order, then the trigger, then the
-    // succeeding blocks.
-    for (unsigned i = 0; i < blocksBefore_; ++i) {
-        if (rec.bits & (std::uint32_t{1} << i)) {
-            const int off = SpatialRegion::offsetOf(i, blocksBefore_);
-            out.push_back(trigger + off);
-        }
+    // succeeding blocks. Iterate set bits only (count-trailing-zeros
+    // walk, ascending index order — identical emission order to a
+    // full 32-bit scan; regions are sparse, so this touches a handful
+    // of bits instead of 32).
+    const std::uint32_t beforeMask =
+        blocksBefore_ >= 32 ? ~std::uint32_t{0}
+                            : (std::uint32_t{1} << blocksBefore_) - 1;
+    std::uint32_t before = rec.bits & beforeMask;
+    while (before != 0) {
+        const unsigned i = static_cast<unsigned>(bits::countrZero(before));
+        before &= before - 1;
+        out.push_back(trigger +
+                      SpatialRegion::offsetOf(i, blocksBefore_));
     }
     out.push_back(trigger);
-    for (unsigned i = blocksBefore_; i < 32; ++i) {
-        if (rec.bits & (std::uint32_t{1} << i)) {
-            const int off = SpatialRegion::offsetOf(i, blocksBefore_);
-            out.push_back(trigger + off);
-        }
+    std::uint32_t after = rec.bits & ~beforeMask;
+    while (after != 0) {
+        const unsigned i = static_cast<unsigned>(bits::countrZero(after));
+        after &= after - 1;
+        out.push_back(trigger +
+                      SpatialRegion::offsetOf(i, blocksBefore_));
     }
 }
 
 void
+StreamAddressBuffer::updateBounds()
+{
+    if (window_.empty()) {
+        lo_ = invalidAddr;
+        hi_ = 0;
+        return;
+    }
+    Addr lo = invalidAddr;
+    Addr hi = 0;
+    for (const SpatialRegion &rec : window_) {
+        const Addr trigger = rec.triggerBlock();
+        const Addr rlo =
+            trigger > blocksBefore_ ? trigger - blocksBefore_ : 0;
+        const Addr rhi = trigger + (31 - blocksBefore_);
+        lo = std::min(lo, rlo);
+        hi = std::max(hi, rhi);
+    }
+    lo_ = lo;
+    hi_ = hi;
+}
+
+bool
 StreamAddressBuffer::refill(std::vector<Addr> &out)
 {
+    bool loaded = false;
     while (window_.size() < windowRegions_ && hist_->valid(ptr_)) {
         const SpatialRegion &rec = hist_->at(ptr_);
         ++ptr_;
         window_.push_back(rec);
         emitRegion(rec, out);
+        loaded = true;
     }
+    return loaded;
 }
 
 void
@@ -57,6 +94,7 @@ StreamAddressBuffer::allocate(const HistoryBuffer *hist, std::uint64_t seq,
     window_.clear();
     advanced_ = 0;
     refill(out);
+    updateBounds();
     if (window_.empty())
         active_ = false;
 }

@@ -65,17 +65,30 @@ class StreamAddressBuffer
         if (!active_)
             return false;
 
+        // Fast reject: [lo_, hi_] conservatively bounds every block any
+        // window region can cover, so most accesses (which belong to
+        // other streams or to no stream) take one compare pair instead
+        // of the per-region bit tests. Inside the bounds the full scan
+        // decides — the bounds are a superset, never a filter on
+        // matches.
+        if (block < lo_ || block > hi_)
+            return false;
+
         for (std::size_t i = 0; i < window_.size(); ++i) {
             if (!regionCovers(window_[i], block))
                 continue;
             // Matched region i: retire everything before it and slide
             // the window forward, issuing prefetches for newly loaded
-            // records.
+            // records. The bounds only move when the window contents
+            // change — a match on the head region with a full window
+            // (the common steady-state case) recomputes nothing.
             advanced_ += i;
             window_.erase(window_.begin(),
                           window_.begin() +
                               static_cast<std::ptrdiff_t>(i));
-            refill(out);
+            const bool loaded = refill(out);
+            if (i > 0 || loaded)
+                updateBounds();
             return true;
         }
         return false;
@@ -83,6 +96,14 @@ class StreamAddressBuffer
 
     /** True while the SAB has a live window. */
     bool active() const { return active_; }
+
+    /**
+     * Conservative coverage bounds (the onAccess fast reject's
+     * [lo_, hi_]). Inactive SABs park them at [invalidAddr, 0], so a
+     * pool can min/max over every SAB without checking active().
+     */
+    Addr boundLo() const { return lo_; }
+    Addr boundHi() const { return hi_; }
 
     /** LRU tick of the last match or allocation. */
     std::uint64_t lastUse() const { return lastUse_; }
@@ -112,14 +133,23 @@ class StreamAddressBuffer
     {
         active_ = false;
         window_.clear();
+        lo_ = invalidAddr;
+        hi_ = 0;
     }
 
   private:
     /** Append the blocks of @p rec to @p out (left-to-right order). */
     void emitRegion(const SpatialRegion &rec, std::vector<Addr> &out);
 
-    /** Load records from history until the window is full. */
-    void refill(std::vector<Addr> &out);
+    /**
+     * Load records from history until the window is full.
+     * @return true if at least one record was loaded (callers refresh
+     *         the coverage bounds on any window change).
+     */
+    bool refill(std::vector<Addr> &out);
+
+    /** Recompute the [lo_, hi_] coverage bounds from the window. */
+    void updateBounds();
 
     /** True if @p rec covers @p block (trigger or set neighbour bit). */
     bool
@@ -145,6 +175,15 @@ class StreamAddressBuffer
     std::vector<SpatialRegion> window_;
     std::uint64_t lastUse_ = 0;
     std::uint64_t advanced_ = 0;
+
+    /**
+     * Conservative bounds on the blocks the window can cover
+     * (min trigger - blocksBefore_ .. max trigger + 31 - blocksBefore_),
+     * kept in sync on every window change. Inactive/empty windows hold
+     * the empty interval [invalidAddr, 0] so every access fast-rejects.
+     */
+    Addr lo_ = invalidAddr;
+    Addr hi_ = 0;
 };
 
 } // namespace pifetch

@@ -9,10 +9,6 @@
 
 namespace pifetch {
 
-namespace {
-constexpr std::size_t prefetchQueueCap = 256;
-} // namespace
-
 SharedPifStorage::SharedPifStorage(const PifConfig &cfg)
     : cfg_(cfg)
 {
@@ -73,16 +69,6 @@ SharedPifPrefetcher::SharedPifPrefetcher(
 }
 
 void
-SharedPifPrefetcher::enqueue(Addr block)
-{
-    if (queued_.count(block) || queue_.size() >= prefetchQueueCap)
-        return;
-    queue_.push_back(block);
-    queued_.insert(block);
-    ++issued_;
-}
-
-void
 SharedPifPrefetcher::onRetire(const RetiredInstr &instr, bool tagged)
 {
     LocalChain &local = locals_[chainSlot(instr.trapLevel)];
@@ -100,6 +86,13 @@ SharedPifPrefetcher::onRetire(const RetiredInstr &instr, bool tagged)
 }
 
 void
+SharedPifPrefetcher::onRetireSameBlockRun(TrapLevel tl,
+                                          std::uint32_t count)
+{
+    locals_[chainSlot(tl)].spatial->observeSameBlock(count);
+}
+
+void
 SharedPifPrefetcher::onFetchAccess(const FetchInfo &info)
 {
     scratch_.clear();
@@ -114,7 +107,7 @@ SharedPifPrefetcher::onFetchAccess(const FetchInfo &info)
     if (info.correctPath) {
         ++total_;
         if ((info.hit && info.wasPrefetched) || in_stream ||
-            queued_.count(info.block) != 0) {
+            queue_.contains(info.block)) {
             ++covered_;
         }
     }
@@ -140,22 +133,16 @@ SharedPifPrefetcher::onFetchAccess(const FetchInfo &info)
         }
     }
 
-    for (Addr b : scratch_)
-        enqueue(b);
+    for (Addr b : scratch_) {
+        if (queue_.push(b))
+            ++issued_;
+    }
 }
 
 unsigned
 SharedPifPrefetcher::drainRequests(std::vector<Addr> &out, unsigned max)
 {
-    unsigned n = 0;
-    while (n < max && !queue_.empty()) {
-        const Addr b = queue_.front();
-        queue_.pop_front();
-        queued_.erase(b);
-        out.push_back(b);
-        ++n;
-    }
-    return n;
+    return queue_.drain(out, max);
 }
 
 double
@@ -188,7 +175,6 @@ SharedPifPrefetcher::reset()
         sab.deactivate();
     sabTick_ = 0;
     queue_.clear();
-    queued_.clear();
     resetStats();
     issued_ = 0;
 }

@@ -70,6 +70,14 @@ class SharedPifPrefetcher final : public Prefetcher
 
     void onFetchAccess(const FetchInfo &info) override;
     void onRetire(const RetiredInstr &instr, bool tagged) override;
+
+    /**
+     * Same-block retire runs take the private spatial compactor's
+     * same-block early-out; only its PC counter advances (shared
+     * storage is untouched).
+     */
+    void onRetireSameBlockRun(TrapLevel tl, std::uint32_t count) override;
+
     unsigned drainRequests(std::vector<Addr> &out, unsigned max) override;
     void reset() override;
     void resetStats() override;
@@ -94,15 +102,12 @@ class SharedPifPrefetcher final : public Prefetcher
         return (storage_->config().separateTrapLevels && tl > 0) ? 1 : 0;
     }
 
-    void enqueue(Addr block);
-
     std::shared_ptr<SharedPifStorage> storage_;
     std::vector<LocalChain> locals_;
     std::vector<StreamAddressBuffer> sabs_;
     std::uint64_t sabTick_ = 0;
 
-    std::deque<Addr> queue_;
-    AddrSet queued_;
+    PrefetchQueue queue_;
     std::vector<Addr> scratch_;
 
     std::uint64_t covered_ = 0;

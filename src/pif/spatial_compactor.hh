@@ -96,6 +96,15 @@ class SpatialCompactor
         return done;
     }
 
+    /**
+     * Observe @p n consecutive retiring instructions already known to
+     * fall in the block of the previous observation. Equivalent to
+     * @p n observe() calls that all take the same-block early-out:
+     * only the PC counter advances. The batched engines use this to
+     * collapse same-block retire runs.
+     */
+    void observeSameBlock(std::uint64_t n) { observedPcs_ += n; }
+
     /** Flush the in-progress region (end of trace). */
     std::optional<SpatialRegion> flush();
 

@@ -3,9 +3,10 @@
  * In-memory columnar event store for per-run trace analytics.
  *
  * Both simulation engines can optionally populate an EventStore
- * through the same opt-in hook layer as enableDigests(): when no
- * store is attached, the replay hot path pays one predictable branch
- * per instruction and nothing else (the perf gate locks that). When
+ * through the unified observer API (ObserverConfig::events, see
+ * sim/observer.hh): when no store is attached, the replay hot path
+ * pays one predictable branch per instruction and nothing else (the
+ * perf gate locks that). When
  * attached, every retired instruction, block-granularity fetch access
  * and prefetch fill appends a row to the *slices* table, and the
  * engine samples its cumulative counters into the *counters* table at

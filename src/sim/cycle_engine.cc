@@ -5,7 +5,6 @@
 
 #include "sim/cycle_engine.hh"
 
-#include "query/event_store.hh"
 #include "sim/prefetcher_dispatch.hh"
 
 namespace pifetch {
@@ -27,7 +26,8 @@ CycleEngine::CycleEngine(const SystemConfig &cfg, const Program &prog,
       prefetcher_(makePrefetcher(kind, cfg)),
       timing_(cfg.core, cfg.seed ^ 0x7131)
 {
-    events_.reserve(64);
+    batch_.reserve(batchLen_);
+    events_.reserve(4096);
     drain_.reserve(drainPerStep);
     pending_.reserve(cfg.l1i.mshrs * 2);
 }
@@ -47,8 +47,7 @@ CycleEngine::processReadyFills()
         if (it->second <= now) {
             l1i_.fill(it->first, true);
             ++prefetchFills_;
-            if (eventStore_)
-                eventStore_->recordPrefetchFill(eventsCore_, it->first);
+            observers_.observePrefetchFill(it->first);
             it = pending_.erase(it);
         } else {
             ++it;
@@ -56,49 +55,54 @@ CycleEngine::processReadyFills()
     }
 }
 
-void
-CycleEngine::recordEventStep(const RetiredInstr &instr)
-{
-    eventStore_->recordRetire(eventsCore_, instr);
-    for (const FetchAccess &ev : events_)
-        eventStore_->recordAccess(eventsCore_, ev,
-                                  ev.correctPath ? instr.pc
-                                                 : blockBase(ev.block));
-    if (eventStore_->counterSampleDue(eventsCore_)) {
-        CounterSnapshot snap;
-        snap.accesses = frontend_.correctPathFetches();
-        snap.misses = frontend_.correctPathMisses();
-        snap.wrongPathFetches = frontend_.wrongPathFetches();
-        snap.mispredicts = frontend_.mispredicts();
-        snap.interrupts = exec_.interrupts();
-        snap.prefetchFills = l1i_.prefetchFills();
-        eventStore_->sampleCounters(eventsCore_, snap);
-    }
-}
-
 template <typename P>
 void
-CycleEngine::advanceWith(P &prefetcher, InstCount n, bool measuring)
+CycleEngine::stepBatch(P &prefetcher, const RecordBatch &batch,
+                       bool measuring)
 {
-    for (InstCount step = 0; step < n; ++step) {
+    const bool observing = observers_.active();
+    const bool perfect = kind_ == PrefetcherKind::Perfect;
+    events_.clear();
+    std::size_t ev0 = 0;
+
+    for (std::uint32_t i = 0; i < batch.size; ++i) {
+        // Fill timing is per-instruction: a completing prefetch changes
+        // what this very fetch hits, so ready fills install before the
+        // front-end step — exactly as in the scalar loop.
         processReadyFills();
 
-        const RetiredInstr instr = exec_.next();
-        events_.clear();
-        const bool tagged = frontend_.step(instr, events_);
+        const RetiredInstr instr = batch.get(i);
+        const Addr block = batch.block[i];
 
-        if (digests_) {
-            digestRetire(retireDigest_, instr);
-            for (const FetchAccess &ev : events_)
-                digestAccess(accessDigest_, ev);
+        bool tagged;
+        if (frontend_.stepIsNoop(block, instr.kind, instr.trapLevel)) {
+            tagged = frontend_.currentBlockTagged();
+        } else {
+            tagged = frontend_.step(instr, events_);
         }
 
-        if (eventStore_)
-            recordEventStep(instr);
+        const std::size_t nev = events_.size() - ev0;
+        const FetchAccess *evs = events_.data() + ev0;
 
-        const bool perfect = kind_ == PrefetcherKind::Perfect;
+        if (observing) {
+            // Executor-side counters advance at batch-decode
+            // granularity, so a mid-batch counter sample must not read
+            // them: re-derive the interrupt count per instruction from
+            // the record stream itself (a TL0 -> TL1 transition is
+            // exactly one delivery), keeping samples identical at any
+            // batch length.
+            obsInterrupts_ += static_cast<std::uint64_t>(
+                instr.trapLevel != 0 && obsPrevTl_ == 0);
+            obsPrevTl_ = instr.trapLevel;
+            observers_.observeStep(instr, evs, nev, [&] {
+                RunCounters live = liveRunCounters(exec_, frontend_);
+                live.interrupts = obsInterrupts_;
+                return counterSnapshotOf(live, l1i_.prefetchFills());
+            });
+        }
 
-        for (const FetchAccess &ev : events_) {
+        for (std::size_t e = 0; e < nev; ++e) {
+            const FetchAccess &ev = evs[e];
             if (ev.correctPath && !ev.hit && !perfect) {
                 // Demand miss: the front-end already performed the
                 // functional fill; charge the timing.
@@ -149,6 +153,23 @@ CycleEngine::advanceWith(P &prefetcher, InstCount n, bool measuring)
             const Cycle lat = hierarchy_.request(b);
             pending_.emplace(b, timing_.cycles() + lat);
         }
+
+        ev0 = events_.size();
+    }
+}
+
+template <typename P>
+void
+CycleEngine::advanceWith(P &prefetcher, InstCount n, bool measuring)
+{
+    while (n > 0) {
+        const std::uint32_t want =
+            n < batchLen_ ? static_cast<std::uint32_t>(n) : batchLen_;
+        exec_.nextBatch(batch_, want);
+        if (batch_.size == 0)
+            break;
+        stepBatch(prefetcher, batch_, measuring);
+        n -= batch_.size;
     }
 }
 
@@ -180,15 +201,13 @@ CycleEngine::run(InstCount warmup, InstCount measure)
     prefetchFills_ = 0;
     const std::uint64_t l2h0 = hierarchy_.l2Hits();
     const std::uint64_t l2m0 = hierarchy_.l2Misses();
-    const std::uint64_t acc0 = frontend_.correctPathFetches();
-    const std::uint64_t miss0 = frontend_.correctPathMisses();
-    const std::uint64_t wrong0 = frontend_.wrongPathFetches();
-    const std::uint64_t misp0 = frontend_.mispredicts();
-    const std::uint64_t intr0 = exec_.interrupts();
+    const RunCounters base = liveRunCounters(exec_, frontend_);
 
     advance(measure, true);
 
     CycleRunResult res;
+    static_cast<RunCounters &>(res) = liveRunCounters(exec_, frontend_);
+    res.subtractBase(base);
     res.cycles = timing_.cycles();
     res.instrs = timing_.instructions();
     res.userInstrs = timing_.userInstructions();
@@ -200,13 +219,8 @@ CycleEngine::run(InstCount warmup, InstCount measure)
     res.prefetchFills = prefetchFills_;
     res.l2Hits = hierarchy_.l2Hits() - l2h0;
     res.l2Misses = hierarchy_.l2Misses() - l2m0;
-    res.accesses = frontend_.correctPathFetches() - acc0;
-    res.misses = frontend_.correctPathMisses() - miss0;
-    res.wrongPathFetches = frontend_.wrongPathFetches() - wrong0;
-    res.mispredicts = frontend_.mispredicts() - misp0;
-    res.interrupts = exec_.interrupts() - intr0;
-    res.retireDigest = retireDigest();
-    res.accessDigest = accessDigest();
+    res.retireDigest = observers_.retireDigest();
+    res.accessDigest = observers_.accessDigest();
     return res;
 }
 

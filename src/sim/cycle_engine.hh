@@ -8,6 +8,12 @@
  * mispredictions charge the resolution penalty. A Perfect
  * configuration services every fetch at hit latency (Section 5.6's
  * perfect-latency cache).
+ *
+ * The instruction stream is decoded a structure-of-arrays RecordBatch
+ * at a time (trace/record.hh), like TraceEngine; the timed stages
+ * (ready-fill installation, stall charging, MSHR-limited issue) stay
+ * strictly per-instruction, so cycle counts are bit-identical at any
+ * batch length.
  */
 
 #pragma once
@@ -19,22 +25,30 @@
 #include "cache/hierarchy.hh"
 #include "cache/mshr.hh"
 #include "common/config.hh"
-#include "common/digest.hh"
 #include "core/cycle_core.hh"
 #include "core/frontend.hh"
+#include "sim/observer.hh"
+#include "sim/run_counters.hh"
 #include "sim/system_config.hh"
 #include "trace/executor.hh"
 #include "trace/program.hh"
 
 namespace pifetch {
 
-class EventStore;
-
-/** Results of one timed run (measurement window only). */
-struct CycleRunResult
+/**
+ * Results of one timed run (measurement window only).
+ *
+ * The timing-independent counter block (and the stream digests) is
+ * the shared RunCounters base, mirroring TraceRunResult so the
+ * differential oracle (src/check/) compares the two engines stat for
+ * stat: the fetch sequence is timing-independent by construction, so
+ * accesses/mispredicts/wrongPathFetches/interrupts must match the
+ * functional engine exactly; misses may differ only through prefetch
+ * fill timing.
+ */
+struct CycleRunResult : RunCounters
 {
     Cycle cycles = 0;
-    InstCount instrs = 0;
     InstCount userInstrs = 0;
     double uipc = 0.0;
     Cycle fetchStallCycles = 0;
@@ -44,23 +58,6 @@ struct CycleRunResult
     std::uint64_t prefetchFills = 0;
     std::uint64_t l2Hits = 0;
     std::uint64_t l2Misses = 0;
-    /**
-     * Front-end/executor counters over the measurement window,
-     * mirroring TraceRunResult so the differential oracle
-     * (src/check/) can compare the two engines stat for stat. The
-     * fetch sequence is timing-independent by construction, so
-     * accesses/mispredicts/wrongPathFetches/interrupts must match the
-     * functional engine exactly; misses may differ only through
-     * prefetch fill timing.
-     */
-    std::uint64_t accesses = 0;
-    std::uint64_t misses = 0;          //!< correct-path L1-I misses
-    std::uint64_t wrongPathFetches = 0;
-    std::uint64_t mispredicts = 0;
-    std::uint64_t interrupts = 0;
-    /** Whole-run stream digests; zero unless enableDigests() was set. */
-    std::uint64_t retireDigest = 0;
-    std::uint64_t accessDigest = 0;
 };
 
 /**
@@ -83,40 +80,54 @@ class CycleEngine
     Executor &executor() { return exec_; }
 
     /**
-     * Start folding the retired-instruction and fetch-access streams
-     * into digests (same scheme and encoding as
-     * TraceEngine::enableDigests, so the two engines' digests are
-     * directly comparable). Off by default — no hot-path overhead.
+     * Configure observation: stream digests and/or event-store
+     * recording (same scheme, encoding and opt-in contract as
+     * TraceEngine::attachObservers, so the two engines' digests and
+     * stores are directly comparable). Off by default — no hot-path
+     * overhead.
      */
-    void enableDigests() { digests_ = true; }
-
-    /** Retired-instruction stream digest (0 until enabled). */
-    std::uint64_t
-    retireDigest() const
+    void attachObservers(const ObserverConfig &obs)
     {
-        return digests_ ? retireDigest_.value() : 0;
+        observers_.configure(obs);
     }
 
-    /** Fetch-access stream digest (0 until enabled). */
-    std::uint64_t
-    accessDigest() const
+    /** Deprecated: use attachObservers() (digests-on wrapper). */
+    void
+    enableDigests()
     {
-        return digests_ ? accessDigest_.value() : 0;
+        ObserverConfig obs = observers_.config();
+        obs.digests = true;
+        observers_.configure(obs);
     }
 
-    /**
-     * Start recording retire/fetch/prefetch events and windowed
-     * counter samples into @p store, tagging rows with @p core. Same
-     * opt-in contract and row encoding as TraceEngine::attachEvents,
-     * so the two engines' stores compare row for row (timing-
-     * dependent columns aside). Off by default — no hot-path
-     * overhead; pass nullptr to detach.
-     */
+    /** Deprecated: use attachObservers() (event-store wrapper). */
     void
     attachEvents(EventStore *store, unsigned core = 0)
     {
-        eventStore_ = store;
-        eventsCore_ = core;
+        ObserverConfig obs = observers_.config();
+        obs.events = store;
+        obs.core = core;
+        observers_.configure(obs);
+    }
+
+    /** Retired-instruction stream digest (0 until digests enabled). */
+    std::uint64_t retireDigest() const
+    {
+        return observers_.retireDigest();
+    }
+
+    /** Fetch-access stream digest (0 until digests enabled). */
+    std::uint64_t accessDigest() const
+    {
+        return observers_.accessDigest();
+    }
+
+    /** Override the replay batch length (see TraceEngine::setBatchLen). */
+    void
+    setBatchLen(std::uint32_t len)
+    {
+        batchLen_ = len == 0 ? 1 : len;
+        batch_.reserve(batchLen_);
     }
 
   private:
@@ -131,14 +142,13 @@ class CycleEngine
     template <typename P>
     void advanceWith(P &prefetcher, InstCount n, bool measuring);
 
+    /** Run one decoded batch through the timed per-instruction stages. */
+    template <typename P>
+    void stepBatch(P &prefetcher, const RecordBatch &batch,
+                   bool measuring);
+
     /** Install prefetch fills whose latency has elapsed. */
     void processReadyFills();
-
-    /**
-     * Record one instruction's events into the attached store (out of
-     * line: the detached hot path only pays the null check).
-     */
-    void recordEventStep(const RetiredInstr &instr);
 
     SystemConfig cfg_;
     PrefetcherKind kind_;
@@ -152,6 +162,8 @@ class CycleEngine
     /** In-flight prefetch fills: block -> completion cycle. */
     std::unordered_map<Addr, Cycle> pending_;
 
+    RecordBatch batch_;
+    std::uint32_t batchLen_ = recordBatchLen;
     std::vector<FetchAccess> events_;
     std::vector<Addr> drain_;
 
@@ -160,14 +172,15 @@ class CycleEngine
     std::uint64_t prefetchFills_ = 0;
     std::uint64_t lastMispredicts_ = 0;
 
-    /** Stream digests (src/check/ differential oracle); off by default. */
-    bool digests_ = false;
-    StreamDigest retireDigest_;
-    StreamDigest accessDigest_;
-
-    /** Event recording (src/query/); detached by default. */
-    EventStore *eventStore_ = nullptr;
-    unsigned eventsCore_ = 0;
+    /** Digests + event recording (opt-in; detached by default). */
+    EngineObservers observers_;
+    /**
+     * Per-instruction interrupt count for windowed counter samples,
+     * tracked from trap-level transitions while observing (the
+     * executor's own counter advances a whole decoded batch early).
+     */
+    std::uint64_t obsInterrupts_ = 0;
+    std::uint8_t obsPrevTl_ = 0;
 };
 
 } // namespace pifetch

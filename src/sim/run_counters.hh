@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The timing-independent counter block shared by both engines.
+ *
+ * TraceRunResult and CycleRunResult used to carry two hand-kept copies
+ * of the same field list; every new counter had to be added, snapshot,
+ * delta'd and compared in two places. RunCounters is the single
+ * definition: both result structs inherit it, the engines fill it by
+ * subtracting two live snapshots, and the differential oracles
+ * (src/check/invariants.cc) and the query recorder's counter samples
+ * (src/sim/observer.hh) consume it field-name for field-name.
+ *
+ * Every field here is timing-independent by construction — derived
+ * from the executor and front-end, which both engines drive
+ * identically — except `misses`, which prefetch fill timing may
+ * perturb (the cross-engine oracle compares it only when fills are
+ * instant).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace pifetch {
+
+/** Counters of one measurement window (or one live snapshot). */
+struct RunCounters
+{
+    InstCount instrs = 0;
+    /** Correct-path block fetches / misses. */
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    /** Wrong-path block fetches injected by mispredictions. */
+    std::uint64_t wrongPathFetches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t interrupts = 0;
+    /**
+     * Whole-run stream digests (warmup + measurement); zero unless the
+     * engine ran with digests enabled (ObserverConfig::digests). The
+     * retire digest folds every retired instruction, the access digest
+     * every fetch access the front-end performed (block, path, trap
+     * level — not hit/miss, which legitimately differs across engines
+     * with different fill timing). Used by the differential oracle
+     * (src/check/).
+     */
+    std::uint64_t retireDigest = 0;
+    std::uint64_t accessDigest = 0;
+
+    /** Correct-path miss ratio over the window. */
+    double
+    missRatio() const
+    {
+        return accesses == 0
+            ? 0.0
+            : static_cast<double>(misses) / static_cast<double>(accesses);
+    }
+
+    /**
+     * Rebase cumulative counters against the window-start snapshot
+     * @p start (digests are whole-run by contract and stay untouched).
+     */
+    void
+    subtractBase(const RunCounters &start)
+    {
+        instrs -= start.instrs;
+        accesses -= start.accesses;
+        misses -= start.misses;
+        wrongPathFetches -= start.wrongPathFetches;
+        mispredicts -= start.mispredicts;
+        interrupts -= start.interrupts;
+    }
+};
+
+} // namespace pifetch

@@ -6,7 +6,6 @@
 #include "sim/trace_engine.hh"
 
 #include "pif/pif_prefetcher.hh"
-#include "query/event_store.hh"
 #include "sim/prefetcher_dispatch.hh"
 
 namespace pifetch {
@@ -25,30 +24,89 @@ TraceEngine::TraceEngine(const SystemConfig &cfg, const Program &prog,
       frontend_(cfg, l1i_, cfg.seed ^ 0xfe7c4),
       prefetcher_(std::move(prefetcher))
 {
-    events_.reserve(64);
+    batch_.reserve(batchLen_);
+    events_.reserve(4096);
     drain_.reserve(drainPerStep);
 }
 
 template <typename P>
 void
-TraceEngine::advanceWith(P &prefetcher, InstCount n)
+TraceEngine::stepBatch(P &prefetcher, const RecordBatch &batch)
 {
-    for (InstCount i = 0; i < n; ++i) {
-        const RetiredInstr instr = exec_.next();
+    const bool observing = observers_.active();
+    events_.clear();
+    std::size_t ev0 = 0;
 
-        events_.clear();
-        const bool tagged = frontend_.step(instr, events_);
+    for (std::uint32_t i = 0; i < batch.size; ++i) {
+        const Addr block = batch.block[i];
+        const std::uint8_t tl = batch.trapLevel[i];
+        const bool noop = frontend_.stepIsNoop(
+            block, static_cast<InstrKind>(batch.kind[i]), tl);
 
-        if (digests_) {
-            digestRetire(retireDigest_, instr);
-            for (const FetchAccess &ev : events_)
-                digestAccess(accessDigest_, ev);
+        // Bulk fast path: a maximal run of plain instructions fetched
+        // from the current block at an unchanged trap level performs
+        // no front-end steps, no fetch accesses, and (unobserved) no
+        // digest folds. Collapse the whole run: the prefetcher sees
+        // one same-block-run retire (exactly equivalent to the
+        // per-instruction calls — every shipped retire hook is either
+        // a no-op or the spatial compactor's same-block early-out),
+        // and the drain keeps the per-instruction budget. Observers
+        // need per-instruction folds, so the run stays scalar then.
+        // Only the pc/kind/trapLevel/block columns are read here, so
+        // the path composes with the executor's lean decode.
+        if (!observing && noop) {
+            std::uint32_t j = i + 1;
+            while (j < batch.size && batch.plainCont[j])
+                ++j;
+            const std::uint32_t run = j - i;
+            prefetcher.onRetireSameBlockRun(tl, run);
+            // No accesses intervene, so nothing enqueues mid-run:
+            // once a drain comes back empty the queue stays empty,
+            // and stopping early is state-identical to draining once
+            // per instruction.
+            for (std::uint32_t k = 0; k < run; ++k) {
+                drain_.clear();
+                if (prefetcher.drainRequests(drain_, drainPerStep) == 0)
+                    break;
+                for (Addr b : drain_) {
+                    if (!l1i_.probe(b))
+                        l1i_.fill(b, true);
+                }
+            }
+            i = j - 1;
+            continue;
         }
 
-        if (eventStore_)
-            recordEventStep(instr);
+        // Scalar fast path: a lone no-op step (observers attached)
+        // still skips the out-of-line front-end call and reuses the
+        // sticky tag.
+        const RetiredInstr instr = batch.get(i);
+        const bool tagged =
+            noop ? frontend_.currentBlockTagged()
+                 : frontend_.step(instr, events_);
 
-        for (const FetchAccess &ev : events_) {
+        const std::size_t nev = events_.size() - ev0;
+        const FetchAccess *evs = events_.data() + ev0;
+
+        if (observing) {
+            // Executor-side counters advance at batch-decode
+            // granularity, so a mid-batch counter sample must not read
+            // them: re-derive the interrupt count per instruction from
+            // the record stream itself (a TL0 -> TL1 transition is
+            // exactly one delivery), keeping samples identical at any
+            // batch length.
+            obsInterrupts_ += static_cast<std::uint64_t>(
+                instr.trapLevel != 0 && obsPrevTl_ == 0);
+            obsPrevTl_ = instr.trapLevel;
+            observers_.observeStep(instr, evs, nev, [&] {
+                RunCounters live = liveRunCounters(exec_, frontend_);
+                live.interrupts = obsInterrupts_;
+                return counterSnapshotOf(live, l1i_.prefetchFills());
+            });
+        }
+
+        for (std::size_t e = 0; e < nev; ++e) {
+            const FetchAccess &ev = evs[e];
             FetchInfo info;
             info.block = ev.block;
             info.pc = ev.correctPath ? instr.pc : blockBase(ev.block);
@@ -63,36 +121,39 @@ TraceEngine::advanceWith(P &prefetcher, InstCount n)
 
         // Apply prefetch candidates: probe the tags first (Section
         // 4.3's line-buffer path); a functional fill models a timely
-        // prefetch.
+        // prefetch. This stays per-instruction — the fill changes what
+        // the very next instruction's fetch hits.
         drain_.clear();
         prefetcher.drainRequests(drain_, drainPerStep);
         for (Addr b : drain_) {
             if (!l1i_.probe(b)) {
                 l1i_.fill(b, true);
-                if (eventStore_)
-                    eventStore_->recordPrefetchFill(eventsCore_, b);
+                if (observing)
+                    observers_.observePrefetchFill(b);
             }
         }
+
+        ev0 = events_.size();
     }
 }
 
+template <typename P>
 void
-TraceEngine::recordEventStep(const RetiredInstr &instr)
+TraceEngine::advanceWith(P &prefetcher, InstCount n)
 {
-    eventStore_->recordRetire(eventsCore_, instr);
-    for (const FetchAccess &ev : events_)
-        eventStore_->recordAccess(eventsCore_, ev,
-                                  ev.correctPath ? instr.pc
-                                                 : blockBase(ev.block));
-    if (eventStore_->counterSampleDue(eventsCore_)) {
-        CounterSnapshot snap;
-        snap.accesses = frontend_.correctPathFetches();
-        snap.misses = frontend_.correctPathMisses();
-        snap.wrongPathFetches = frontend_.wrongPathFetches();
-        snap.mispredicts = frontend_.mispredicts();
-        snap.interrupts = exec_.interrupts();
-        snap.prefetchFills = l1i_.prefetchFills();
-        eventStore_->sampleCounters(eventsCore_, snap);
+    // Unobserved replay never reads the target/taken columns of plain
+    // records (the bulk path keys on pc/kind/trapLevel/block, and
+    // Frontend::step ignores both for Plain), so let the decoder skip
+    // those fills. Observers fold whole records and need full batches.
+    const bool lean = !observers_.active();
+    while (n > 0) {
+        const std::uint32_t want =
+            n < batchLen_ ? static_cast<std::uint32_t>(n) : batchLen_;
+        exec_.nextBatch(batch_, want, lean);
+        if (batch_.size == 0)
+            break;
+        stepBatch(prefetcher, batch_);
+        n -= batch_.size;
     }
 }
 
@@ -105,36 +166,33 @@ TraceEngine::advance(InstCount n)
                            [&](auto &p) { advanceWith(p, n); });
 }
 
+void
+TraceEngine::replayBatch(const RecordBatch &batch)
+{
+    withConcretePrefetcher(*prefetcher_,
+                           [&](auto &p) { stepBatch(p, batch); });
+}
+
 TraceRunResult
 TraceEngine::run(InstCount warmup, InstCount measure)
 {
     advance(warmup);
 
     // Snapshot warmup-end counters so the result reflects only the
-    // measurement window.
-    const std::uint64_t acc0 = frontend_.correctPathFetches();
-    const std::uint64_t miss0 = frontend_.correctPathMisses();
-    const std::uint64_t wrong0 = frontend_.wrongPathFetches();
-    const std::uint64_t misp0 = frontend_.mispredicts();
-    const std::uint64_t intr0 = exec_.interrupts();
+    // measurement window. instrs comes from the executor, not echoed
+    // from the request, so the length-scaling and cross-engine oracles
+    // (src/check/) compare a real counter: a replay loop that silently
+    // ran short would show up here.
+    const RunCounters base = liveRunCounters(exec_, frontend_);
     const std::uint64_t fills0 = l1i_.prefetchFills();
     const std::uint64_t useful0 = l1i_.usefulPrefetches();
-    const InstCount retired0 = exec_.retired();
     prefetcher_->resetStats();
 
     advance(measure);
 
     TraceRunResult res;
-    // Measured from the executor, not echoed from the request, so the
-    // length-scaling and cross-engine oracles (src/check/) compare a
-    // real counter: a replay loop that silently ran short would show
-    // up here.
-    res.instrs = exec_.retired() - retired0;
-    res.accesses = frontend_.correctPathFetches() - acc0;
-    res.misses = frontend_.correctPathMisses() - miss0;
-    res.wrongPathFetches = frontend_.wrongPathFetches() - wrong0;
-    res.mispredicts = frontend_.mispredicts() - misp0;
-    res.interrupts = exec_.interrupts() - intr0;
+    static_cast<RunCounters &>(res) = liveRunCounters(exec_, frontend_);
+    res.subtractBase(base);
     res.prefetchIssued = prefetcher_->issued();
     res.prefetchFills = l1i_.prefetchFills() - fills0;
     res.usefulPrefetches = l1i_.usefulPrefetches() - useful0;
@@ -144,8 +202,8 @@ TraceEngine::run(InstCount warmup, InstCount measure)
         res.pifCoverageTl1 = pif->coverage(1);
         res.pifCoverage = pif->coverage();
     }
-    res.retireDigest = retireDigest();
-    res.accessDigest = accessDigest();
+    res.retireDigest = observers_.retireDigest();
+    res.accessDigest = observers_.accessDigest();
     return res;
 }
 

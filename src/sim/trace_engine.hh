@@ -6,6 +6,16 @@
  * no timing: prefetch fills are instantaneous, so results measure pure
  * predictor quality (coverage, accuracy, over-prediction) exactly like
  * the paper's trace-based studies (Sections 2, 3, 5.1-5.5).
+ *
+ * The replay loop is batched: the executor decodes a structure-of-
+ * arrays RecordBatch at a time (trace/record.hh), and the per-
+ * instruction stages (front-end, prefetcher hooks, drain) stream over
+ * the batch columns with an inline fast path for plain instructions
+ * that stay inside the current fetch block. Per-instruction order is
+ * preserved exactly — the prefetch drain feeds the cache the next
+ * instruction observes — so results are bit-identical at any batch
+ * length; the batched differential suite and the golden snapshots
+ * lock that.
  */
 
 #pragma once
@@ -14,28 +24,23 @@
 
 #include "cache/cache.hh"
 #include "common/config.hh"
-#include "common/digest.hh"
 #include "core/frontend.hh"
 #include "prefetch/prefetcher.hh"
+#include "sim/observer.hh"
+#include "sim/run_counters.hh"
 #include "sim/system_config.hh"
 #include "trace/executor.hh"
 #include "trace/program.hh"
 
 namespace pifetch {
 
-class EventStore;
-
-/** Aggregate results of one functional run (measurement window only). */
-struct TraceRunResult
+/**
+ * Aggregate results of one functional run (measurement window only).
+ * The timing-independent counter block (including the stream digests)
+ * is the shared RunCounters base.
+ */
+struct TraceRunResult : RunCounters
 {
-    InstCount instrs = 0;
-    /** Correct-path block fetches / misses. */
-    std::uint64_t accesses = 0;
-    std::uint64_t misses = 0;
-    /** Wrong-path block fetches injected by mispredictions. */
-    std::uint64_t wrongPathFetches = 0;
-    std::uint64_t mispredicts = 0;
-    std::uint64_t interrupts = 0;
     /** Prefetch candidates issued / actual fills performed. */
     std::uint64_t prefetchIssued = 0;
     std::uint64_t prefetchFills = 0;
@@ -45,25 +50,6 @@ struct TraceRunResult
     double pifCoverageTl0 = 0.0;
     double pifCoverageTl1 = 0.0;
     double pifCoverage = 0.0;
-    /**
-     * Whole-run stream digests (warmup + measurement); zero unless the
-     * engine ran with enableDigests(). The retire digest folds every
-     * retired instruction, the access digest every fetch access the
-     * front-end performed (block, path, trap level — not hit/miss,
-     * which legitimately differs across engines with different fill
-     * timing). Used by the differential oracle (src/check/).
-     */
-    std::uint64_t retireDigest = 0;
-    std::uint64_t accessDigest = 0;
-
-    /** Correct-path miss ratio over the measurement window. */
-    double
-    missRatio() const
-    {
-        return accesses == 0
-            ? 0.0
-            : static_cast<double>(misses) / static_cast<double>(accesses);
-    }
 };
 
 /**
@@ -101,50 +87,81 @@ class TraceEngine
      */
     void advance(InstCount n);
 
+    /**
+     * Replay externally supplied records (a captured trace decoded by
+     * TraceBatchReader, say) through the same batched pipeline,
+     * bypassing the executor. The batch's block column must be
+     * populated (computeBlocks()); executor-side counters (retired,
+     * interrupts) do not advance.
+     */
+    void replayBatch(const RecordBatch &batch);
+
     Cache &l1i() { return l1i_; }
     Frontend &frontend() { return frontend_; }
     Prefetcher &prefetcher() { return *prefetcher_; }
     Executor &executor() { return exec_; }
 
     /**
-     * Start folding the retired-instruction and fetch-access streams
-     * into digests (see TraceRunResult). Off by default: the replay
-     * hot path then pays only one predictable branch per instruction,
-     * so the perf gate sees no overhead. Enable before the first
-     * advance()/run() so both engines digest identical windows.
+     * Configure observation: stream digests and/or event-store
+     * recording (see ObserverConfig). Detached (the default) the
+     * replay hot path pays one predictable branch per instruction and
+     * nothing else, so the perf gate sees no overhead. Configure
+     * before the first advance()/run() so differential runs observe
+     * identical windows; digest state accumulated so far is kept.
      */
-    void enableDigests() { digests_ = true; }
-
-    /** Retired-instruction stream digest (0 until enabled). */
-    std::uint64_t
-    retireDigest() const
+    void attachObservers(const ObserverConfig &obs)
     {
-        return digests_ ? retireDigest_.value() : 0;
-    }
-
-    /** Fetch-access stream digest (0 until enabled). */
-    std::uint64_t
-    accessDigest() const
-    {
-        return digests_ ? accessDigest_.value() : 0;
+        observers_.configure(obs);
     }
 
     /**
-     * Start recording retire/fetch/prefetch events and windowed
-     * counter samples into @p store, tagging rows with @p core (the
-     * multicore runner attaches one store per engine). Same opt-in
-     * contract as enableDigests(): detached (the default) the replay
-     * hot path pays one predictable branch per instruction and
-     * nothing else, so the perf gate sees no overhead. Attach before
-     * the first advance()/run() so both engines record identical
-     * windows; pass nullptr to detach. The store must outlive the
-     * engine or the next attachEvents() call.
+     * Deprecated: use attachObservers(). Thin wrapper that switches
+     * digests on while preserving the rest of the configuration.
+     */
+    void
+    enableDigests()
+    {
+        ObserverConfig obs = observers_.config();
+        obs.digests = true;
+        observers_.configure(obs);
+    }
+
+    /**
+     * Deprecated: use attachObservers(). Thin wrapper that attaches
+     * @p store / @p core while preserving the digest setting.
      */
     void
     attachEvents(EventStore *store, unsigned core = 0)
     {
-        eventStore_ = store;
-        eventsCore_ = core;
+        ObserverConfig obs = observers_.config();
+        obs.events = store;
+        obs.core = core;
+        observers_.configure(obs);
+    }
+
+    /** Retired-instruction stream digest (0 until digests enabled). */
+    std::uint64_t retireDigest() const
+    {
+        return observers_.retireDigest();
+    }
+
+    /** Fetch-access stream digest (0 until digests enabled). */
+    std::uint64_t accessDigest() const
+    {
+        return observers_.accessDigest();
+    }
+
+    /**
+     * Override the replay batch length (default recordBatchLen).
+     * Results are bit-identical at any length — the batched
+     * differential suite sweeps this — so the knob exists for tuning
+     * and for pinning the scalar-order (length 1) reference.
+     */
+    void
+    setBatchLen(std::uint32_t len)
+    {
+        batchLen_ = len == 0 ? 1 : len;
+        batch_.reserve(batchLen_);
     }
 
   private:
@@ -152,11 +169,9 @@ class TraceEngine
     template <typename P>
     void advanceWith(P &prefetcher, InstCount n);
 
-    /**
-     * Record one instruction's events into the attached store (out of
-     * line: the detached hot path only pays the null check).
-     */
-    void recordEventStep(const RetiredInstr &instr);
+    /** Run one decoded batch through the per-instruction stages. */
+    template <typename P>
+    void stepBatch(P &prefetcher, const RecordBatch &batch);
 
     SystemConfig cfg_;
     Executor exec_;
@@ -164,17 +179,20 @@ class TraceEngine
     Frontend frontend_;
     std::unique_ptr<Prefetcher> prefetcher_;
 
+    RecordBatch batch_;
+    std::uint32_t batchLen_ = recordBatchLen;
     std::vector<FetchAccess> events_;
     std::vector<Addr> drain_;
 
-    /** Stream digests (src/check/ differential oracle); off by default. */
-    bool digests_ = false;
-    StreamDigest retireDigest_;
-    StreamDigest accessDigest_;
-
-    /** Event recording (src/query/); detached by default. */
-    EventStore *eventStore_ = nullptr;
-    unsigned eventsCore_ = 0;
+    /** Digests + event recording (opt-in; detached by default). */
+    EngineObservers observers_;
+    /**
+     * Per-instruction interrupt count for windowed counter samples,
+     * tracked from trap-level transitions while observing (the
+     * executor's own counter advances a whole decoded batch early).
+     */
+    std::uint64_t obsInterrupts_ = 0;
+    std::uint8_t obsPrevTl_ = 0;
 };
 
 } // namespace pifetch

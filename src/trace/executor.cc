@@ -274,4 +274,72 @@ Executor::next()
     return r;
 }
 
+void
+Executor::nextBatch(RecordBatch &out, std::uint32_t n, bool lean)
+{
+    out.clear();
+    const std::uint32_t m = std::min(n, out.capacity());
+    std::uint32_t i = 0;
+    while (i < m) {
+        // Columnar fast path: the next instructions are plain (not the
+        // block terminator) and no asynchronous event can interleave —
+        // interrupts only fire at TL0 with a positive rate, and the
+        // phase schedule only at its precomputed boundary. Each such
+        // run is a pure arithmetic fill of the columns.
+        if ((tl_ != 0 || curIr_ <= 0.0) && retired_ < phaseTick_) {
+            const BasicBlock &blk =
+                prog_.functions[cur_.fn].blocks[cur_.blk];
+            std::uint64_t run = cur_.instr + 1 < blk.numInstrs
+                ? blk.numInstrs - 1 - cur_.instr
+                : 0;
+            run = std::min<std::uint64_t>(run, m - i);
+            run = std::min<std::uint64_t>(run, phaseTick_ - retired_);
+            if (run > 0) {
+                const Addr pc0 = blk.start +
+                          static_cast<Addr>(cur_.instr) * instrBytes;
+                const std::uint32_t end =
+                    i + static_cast<std::uint32_t>(run);
+                // One pass per column: the PC ramp vectorizes and the
+                // constant byte columns become memsets, instead of one
+                // scalar mixed-width store group per instruction. The
+                // derived columns are filled here too (rather than by a
+                // trailing computeBlocks() re-read of the whole batch):
+                // the run is Plain at a constant trap level, so
+                // plainCont reduces to block equality, with the run's
+                // first record compared against its already-decoded
+                // predecessor.
+                for (std::uint32_t k = i; k < end; ++k)
+                    out.pc[k] = pc0 +
+                        static_cast<Addr>(k - i) * instrBytes;
+                for (std::uint32_t k = i; k < end; ++k)
+                    out.block[k] = blockAddr(out.pc[k]);
+                out.plainCont[i] = static_cast<std::uint8_t>(
+                    i > 0 && out.trapLevel[i - 1] == tl_ &&
+                    out.block[i - 1] == out.block[i]);
+                for (std::uint32_t k = i + 1; k < end; ++k)
+                    out.plainCont[k] = static_cast<std::uint8_t>(
+                        out.block[k] == out.block[k - 1]);
+                if (!lean) {
+                    std::fill(out.target.begin() + i,
+                              out.target.begin() + end, invalidAddr);
+                    std::fill(out.taken.begin() + i,
+                              out.taken.begin() + end, std::uint8_t{0});
+                }
+                std::fill(out.kind.begin() + i, out.kind.begin() + end,
+                          static_cast<std::uint8_t>(InstrKind::Plain));
+                std::fill(out.trapLevel.begin() + i,
+                          out.trapLevel.begin() + end, tl_);
+                cur_.instr += static_cast<std::uint32_t>(run);
+                retired_ += run;
+                i = end;
+                continue;
+            }
+        }
+        out.size = i;
+        out.push(next());
+        ++i;
+    }
+    out.size = m;
+}
+
 } // namespace pifetch

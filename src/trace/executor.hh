@@ -88,6 +88,29 @@ class Executor
     /** Produce the next retired instruction. */
     RetiredInstr next();
 
+    /**
+     * Decode up to @p n instructions (bounded by @p out's capacity)
+     * into the batch's columns, including the derived block column.
+     *
+     * Emits exactly the sequence repeated next() calls would — the
+     * batched differential suite and the golden snapshots lock that —
+     * but runs of plain instructions inside one basic block are
+     * written with a tight columnar loop that hoists the block lookup
+     * and skips the per-instruction interrupt/phase checks whenever
+     * neither can fire (TL1, or a zero interrupt rate, and no pending
+     * phase boundary).
+     *
+     * With @p lean set, the target and taken columns of those plain
+     * runs are left unspecified (plain records carry no transfer, so
+     * both are constants: invalidAddr and 0). Only callers that never
+     * read the two columns for plain records may opt in — the
+     * unobserved replay loop does (the front-end, the retire hooks and
+     * the drain all key on pc/kind/trapLevel); anything that encodes
+     * or digests whole records must decode full batches.
+     */
+    void nextBatch(RecordBatch &out, std::uint32_t n,
+                   bool lean = false);
+
     /** Run @p n instructions through @p sink (sink(const RetiredInstr&)). */
     template <typename Sink>
     void

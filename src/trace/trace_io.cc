@@ -177,4 +177,116 @@ readTrace(const std::string &path, std::vector<RetiredInstr> &records)
     return true;
 }
 
+bool
+TraceBatchReader::open(const std::string &path)
+{
+    close();
+    failed_ = false;
+    total_ = 0;
+    remaining_ = 0;
+    decoded_ = 0;
+    chunkPos_ = 0;
+    chunkLen_ = 0;
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        failed_ = true;
+        return false;
+    }
+    file_ = f;
+
+    Header h{};
+    if (std::fread(&h, sizeof(h), 1, f) != 1 || h.magic != traceMagic ||
+        h.version != traceVersion) {
+        failed_ = true;
+        close();
+        return false;
+    }
+
+    // Same untrusted-count validation as readTrace(): when the payload
+    // size is knowable it must hold everything the header promises.
+    const long long payload = payloadBytes(f);
+    if (payload >= 0 &&
+        h.count > static_cast<unsigned long long>(payload) /
+                      sizeof(DiskRecord)) {
+        failed_ = true;
+        close();
+        return false;
+    }
+
+    total_ = h.count;
+    remaining_ = h.count;
+    chunk_.resize(sizeof(DiskRecord) *
+                  std::min<std::uint64_t>(
+                      chunkRecords, std::max<std::uint64_t>(h.count, 1)));
+    return true;
+}
+
+void
+TraceBatchReader::close()
+{
+    if (file_) {
+        std::fclose(static_cast<std::FILE *>(file_));
+        file_ = nullptr;
+    }
+}
+
+void
+TraceBatchReader::refill()
+{
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(chunkRecords, remaining_));
+    if (std::fread(chunk_.data(), sizeof(DiskRecord), n,
+                   static_cast<std::FILE *>(file_)) != n) {
+        failed_ = true;
+        return;
+    }
+    chunkPos_ = 0;
+    chunkLen_ = n;
+    remaining_ -= n;
+}
+
+bool
+TraceBatchReader::next(RecordBatch &out, std::uint32_t max)
+{
+    out.clear();
+    if (failed_ || file_ == nullptr || max == 0)
+        return false;
+    out.reserve(max);
+
+    while (out.size < max && (chunkPos_ < chunkLen_ || remaining_ > 0)) {
+        if (chunkPos_ == chunkLen_) {
+            refill();
+            if (failed_) {
+                out.clear();
+                return false;
+            }
+        }
+        const auto *recs =
+            reinterpret_cast<const DiskRecord *>(chunk_.data());
+        const std::uint32_t take = static_cast<std::uint32_t>(
+            std::min<std::size_t>(max - out.size,
+                                  chunkLen_ - chunkPos_));
+        // Scatter the packed disk fields into the batch columns. One
+        // pass per column keeps each destination write stream dense.
+        const std::uint32_t b = out.size;
+        for (std::uint32_t i = 0; i < take; ++i)
+            out.pc[b + i] = recs[chunkPos_ + i].pc;
+        for (std::uint32_t i = 0; i < take; ++i)
+            out.target[b + i] = recs[chunkPos_ + i].target;
+        for (std::uint32_t i = 0; i < take; ++i)
+            out.kind[b + i] = recs[chunkPos_ + i].kind;
+        for (std::uint32_t i = 0; i < take; ++i)
+            out.trapLevel[b + i] = recs[chunkPos_ + i].trapLevel;
+        for (std::uint32_t i = 0; i < take; ++i)
+            out.taken[b + i] = recs[chunkPos_ + i].taken != 0 ? 1 : 0;
+        out.size = b + take;
+        chunkPos_ += take;
+        decoded_ += take;
+    }
+
+    out.computeBlocks();
+    return out.size > 0;
+}
+
 } // namespace pifetch

@@ -53,4 +53,67 @@ bool writeTrace(const std::string &path,
 bool readTrace(const std::string &path,
                std::vector<RetiredInstr> &records);
 
+/**
+ * Streaming batch decoder for trace files.
+ *
+ * Where readTrace() materializes the whole file as one AoS vector,
+ * this reader hands out the stream one structure-of-arrays RecordBatch
+ * at a time: each 32K-record disk chunk is read with a single fread
+ * and its fields are scattered into the batch's parallel PC / target /
+ * kind columns (block addresses precomputed), ready to feed
+ * TraceEngine::replayBatch() without touching AoS form or holding more
+ * than one chunk in memory. Decodes the exact record sequence
+ * readTrace() produces; the trace-io test suite locks the equivalence.
+ */
+class TraceBatchReader
+{
+  public:
+    TraceBatchReader() = default;
+    ~TraceBatchReader() { close(); }
+
+    TraceBatchReader(const TraceBatchReader &) = delete;
+    TraceBatchReader &operator=(const TraceBatchReader &) = delete;
+
+    /**
+     * Open @p path and validate its header (magic, version, and the
+     * record count against the file's actual payload size, exactly as
+     * readTrace() does). @return true if the stream is ready.
+     */
+    bool open(const std::string &path);
+
+    /** Records the header promises (valid after a successful open). */
+    std::uint64_t count() const { return total_; }
+
+    /** Records decoded so far. */
+    std::uint64_t decoded() const { return decoded_; }
+
+    /**
+     * Decode up to @p max records into @p out (columns filled, block
+     * addresses computed). @return true if @p out holds at least one
+     * record; false at end of stream or on error (check failed()).
+     */
+    bool next(RecordBatch &out, std::uint32_t max = recordBatchLen);
+
+    /** True once an I/O error or short read has been observed. */
+    bool failed() const { return failed_; }
+
+    /** Release the underlying file (idempotent). */
+    void close();
+
+  private:
+    /** Read the next disk chunk into chunk_. Sets failed_ on error. */
+    void refill();
+
+    void *file_ = nullptr;       //!< std::FILE, opaque to the header
+    std::uint64_t total_ = 0;    //!< records promised by the header
+    std::uint64_t remaining_ = 0;  //!< records not yet read from disk
+    std::uint64_t decoded_ = 0;
+    bool failed_ = false;
+
+    /** Raw bytes of the current disk chunk and the decode cursor. */
+    std::vector<std::uint8_t> chunk_;
+    std::size_t chunkPos_ = 0;  //!< next undecoded record index
+    std::size_t chunkLen_ = 0;  //!< records in the current chunk
+};
+
 } // namespace pifetch

@@ -53,12 +53,16 @@ runWindowedOracles(const Program &prog, const ExecutorConfig &exec,
     EventStore trace_events(windowedOptions());
     TraceEngine trace_engine(cfg, prog, exec,
                              makePrefetcher(kind, cfg));
-    trace_engine.attachEvents(&trace_events);
+    ObserverConfig trace_obs;
+    trace_obs.events = &trace_events;
+    trace_engine.attachObservers(trace_obs);
     trace_engine.run(kWarmup, kMeasure);
 
     EventStore cycle_events(windowedOptions());
     CycleEngine cycle_engine(cfg, prog, exec, kind);
-    cycle_engine.attachEvents(&cycle_events);
+    ObserverConfig cycle_obs;
+    cycle_obs.events = &cycle_events;
+    cycle_engine.attachObservers(cycle_obs);
     cycle_engine.run(kWarmup, kMeasure);
 
     // Recording must actually have happened — two empty stores would
@@ -93,12 +97,14 @@ TEST_P(PresetDifferential, EnginesAgreeOnStreamsAndCounters)
          {PrefetcherKind::None, PrefetcherKind::Pif}) {
         TraceEngine trace_engine(cfg, prog, executorConfigFor(w),
                                  makePrefetcher(kind, cfg));
-        trace_engine.enableDigests();
+        ObserverConfig obs;
+        obs.digests = true;
+        trace_engine.attachObservers(obs);
         const TraceRunResult trace =
             trace_engine.run(kWarmup, kMeasure);
 
         CycleEngine cycle_engine(cfg, prog, executorConfigFor(w), kind);
-        cycle_engine.enableDigests();
+        cycle_engine.attachObservers(obs);
         const CycleRunResult cycle =
             cycle_engine.run(kWarmup, kMeasure);
 

@@ -544,7 +544,9 @@ TEST(Query, EngineRecordingIsDeterministicAndQueryable)
         TraceEngine engine(
             cfg, prog, executorConfigFor(ServerWorkload::OltpDb2),
             makePrefetcher(PrefetcherKind::Pif, cfg));
-        engine.attachEvents(&store);
+        ObserverConfig obs;
+        obs.events = &store;
+        engine.attachObservers(obs);
         engine.run(2'000, 10'000);
         return store;
     };
