@@ -72,6 +72,9 @@
 #include "sim/cycle_engine.hh"
 #include "sim/registry.hh"
 #include "sim/trace_engine.hh"
+#include "sweep/runner.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_v2.hh"
 
 using namespace pifetch;
 
@@ -88,6 +91,7 @@ usage(std::FILE *out)
         "  run <experiment>          run one experiment\n"
         "  sweep <experiment> --param key=v1,v2,...\n"
         "                            run a parameter grid\n"
+        "  trace pack|unpack|info    convert/inspect trace files\n"
         "  golden [--list|<exp>]     emit canonical golden JSON\n"
         "  perf [--list|options]     time the hot kernels\n"
         "  check [options]           fuzz + differential validation\n"
@@ -110,6 +114,24 @@ usage(std::FILE *out)
         "  --seed N       master seed\n"
         "  --set k=v      config override (repeatable)\n"
         "  --quiet        no human-readable report\n"
+        "\n"
+        "sweep-only options (sharded service, docs/cli.md):\n"
+        "  --shards N     partition the grid over N child processes\n"
+        "                 (needs --dir; at most --threads run at once)\n"
+        "  --dir D        sweep directory (manifest, per-shard point\n"
+        "                 files + completion journal, merged.json)\n"
+        "  --resume       skip journaled-complete points after a\n"
+        "                 crash (same command line as the first run)\n"
+        "  --shard K      worker mode: run one shard of an existing\n"
+        "                 manifest (used by the scheduler)\n"
+        "  --merge        assemble merged.json from completed shards\n"
+        "                 without running anything\n"
+        "\n"
+        "trace verbs:\n"
+        "  pack <in> <out>    convert a v1 (or v2) trace to v2\n"
+        "                     (delta/varint chunks, ~5-10x smaller)\n"
+        "  unpack <in> <out>  convert back to fixed-record v1\n"
+        "  info <file> [--json FILE|-]  header/chunk-index summary\n"
         "\n"
         "perf options:\n"
         "  --list         enumerate the kernels and exit\n"
@@ -507,24 +529,212 @@ cmdRun(int argc, char **argv)
     return emitOutputs(opts, doc) ? 0 : 1;
 }
 
+/** Sweep-service options split off before the common option parser. */
+struct SweepServiceOptions
+{
+    std::string dir;
+    std::uint64_t shards = 0;
+    bool shardsSet = false;
+    std::uint64_t shard = 0;
+    bool shardSet = false;
+    bool resume = false;
+    bool merge = false;
+    /** CLI-form base inputs captured for the manifest. */
+    std::vector<SweepWorkloadRef> workloads;
+    std::vector<std::pair<std::string, std::string>> overrides;
+    std::optional<std::uint64_t> warmup;
+    std::optional<std::uint64_t> measure;
+};
+
+/** Options of the common parser that consume a value. */
+bool
+sweepValueOption(const std::string &arg)
+{
+    return arg == "--workload" || arg == "--workload-file" ||
+           arg == "--json" || arg == "--csv" || arg == "--threads" ||
+           arg == "--warmup" || arg == "--measure" ||
+           arg == "--seed" || arg == "--set" || arg == "--param";
+}
+
+/** Per-point report for an assembled sweep document. */
+void
+printSweepReport(const ResultValue &doc)
+{
+    const ResultValue *runs = doc.find("runs");
+    if (!runs)
+        return;
+    for (std::size_t p = 0; p < runs->size(); ++p) {
+        std::printf("--- point %zu/%zu:", p + 1, runs->size());
+        const ResultValue *params = runs->at(p).find("params");
+        for (std::size_t j = 0; params && j < params->size(); ++j) {
+            const auto &[key, value] = params->member(j);
+            std::printf(" %s=%s", key.c_str(), value.str().c_str());
+        }
+        std::printf(" ---\n");
+        if (const ResultValue *result = runs->at(p).find("result"))
+            std::fputs(renderText(*result).c_str(), stdout);
+    }
+}
+
+/** Emit the merged/in-process sweep document per the CLI options. */
+int
+emitSweepDoc(const CliOptions &opts, const ResultValue &doc)
+{
+    if (wantReport(opts))
+        printSweepReport(doc);
+    if (!opts.jsonPath.empty() &&
+        !writeOutput(opts.jsonPath, toJson(doc, 2) + "\n"))
+        return 1;
+    return 0;
+}
+
 int
 cmdSweep(int argc, char **argv)
 {
-    if (argc < 3) {
+    // Split the sweep-service options (--dir/--shards/--shard/
+    // --resume/--merge) from the common run options, capturing the
+    // raw workload / override / budget inputs for the manifest as
+    // they pass through.
+    SweepServiceOptions svc;
+    std::vector<char *> rest = {argv[0], argv[1]};
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "pifetch sweep: %s needs a value\n",
+                             arg.c_str());
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--dir") {
+            const char *v = next();
+            if (!v)
+                return 2;
+            svc.dir = v;
+        } else if (arg == "--shards" || arg == "--shard") {
+            const char *v = next();
+            std::uint64_t n = 0;
+            if (!v || !parseU64Arg(v, n)) {
+                std::fprintf(stderr,
+                             "pifetch sweep: bad value '%s' for %s\n",
+                             v ? v : "<missing>", arg.c_str());
+                return 2;
+            }
+            if (arg == "--shards") {
+                svc.shards = n;
+                svc.shardsSet = true;
+            } else {
+                svc.shard = n;
+                svc.shardSet = true;
+            }
+        } else if (arg == "--resume") {
+            svc.resume = true;
+        } else if (arg == "--merge") {
+            svc.merge = true;
+        } else if (sweepValueOption(arg)) {
+            const char *v = next();
+            if (!v)
+                return 2;
+            if (arg == "--workload") {
+                svc.workloads.push_back({v, false});
+            } else if (arg == "--workload-file") {
+                svc.workloads.push_back({v, true});
+            } else if (arg == "--seed") {
+                svc.overrides.emplace_back("seed", v);
+            } else if (arg == "--set") {
+                if (const char *eq = std::strchr(v, '='))
+                    svc.overrides.emplace_back(std::string(v, eq),
+                                               eq + 1);
+            } else if (arg == "--warmup" || arg == "--measure") {
+                std::uint64_t n = 0;
+                if (parseU64Arg(v, n))
+                    (arg == "--warmup" ? svc.warmup
+                                       : svc.measure) = n;
+            }
+            rest.push_back(argv[i - 1]);
+            rest.push_back(argv[i]);
+        } else {
+            rest.push_back(argv[i]);
+        }
+    }
+    const int restc = static_cast<int>(rest.size());
+
+    if (svc.shardsSet && svc.shards == 0) {
+        std::fprintf(stderr, "pifetch sweep: --shards must be >= 1\n");
+        return 2;
+    }
+    if ((svc.shardsSet || svc.shardSet || svc.merge) &&
+        svc.dir.empty()) {
+        std::fprintf(stderr,
+                     "pifetch sweep: --shards/--shard/--merge need "
+                     "--dir\n");
+        return 2;
+    }
+
+    // Worker mode: everything comes from the on-disk manifest; only
+    // the shard ordinal (and --resume) arrive on the command line.
+    if (svc.shardSet) {
+        if (restc > 2 || svc.shardsSet || svc.merge) {
+            std::fprintf(stderr,
+                         "pifetch sweep: --shard takes only --dir "
+                         "and --resume\n");
+            return 2;
+        }
+        std::string err;
+        const auto m = loadManifest(sweepManifestPath(svc.dir), &err);
+        if (!m) {
+            std::fprintf(stderr, "pifetch sweep: %s\n", err.c_str());
+            return 2;
+        }
+        if (!runSweepShard(svc.dir, *m,
+                           static_cast<unsigned>(svc.shard),
+                           svc.resume, &err)) {
+            std::fprintf(stderr, "pifetch sweep: %s\n", err.c_str());
+            return 1;
+        }
+        return 0;
+    }
+
+    // Merge mode: assemble <dir>/merged.json from completed shards
+    // without running anything.
+    if (svc.merge) {
+        CliOptions opts;
+        if (!parseOptions(restc, rest.data(), 2, false, opts))
+            return 2;
+        std::string err;
+        const auto m = loadManifest(sweepManifestPath(svc.dir), &err);
+        if (!m) {
+            std::fprintf(stderr, "pifetch sweep: %s\n", err.c_str());
+            return 2;
+        }
+        const auto doc = mergeShardedSweep(svc.dir, *m, &err);
+        if (!doc) {
+            std::fprintf(stderr, "pifetch sweep: %s\n", err.c_str());
+            return 1;
+        }
+        if (!writeOutput(sweepMergedPath(svc.dir),
+                         toJson(*doc, 2) + "\n"))
+            return 1;
+        return emitSweepDoc(opts, *doc);
+    }
+
+    if (restc < 3) {
         std::fprintf(stderr,
                      "pifetch sweep: missing experiment name\n");
         return 2;
     }
-    const ExperimentSpec *spec = findExperiment(argv[2]);
+    const ExperimentSpec *spec = findExperiment(rest[2]);
     if (!spec) {
         std::fprintf(stderr,
                      "pifetch: unknown experiment '%s' "
-                     "(try `pifetch list`)\n", argv[2]);
+                     "(try `pifetch list`)\n", rest[2]);
         return 2;
     }
     CliOptions opts;
     opts.run.budget = spec->defaultBudget;
-    if (!parseOptions(argc, argv, 3, true, opts))
+    if (!parseOptions(restc, rest.data(), 3, true, opts))
         return 2;
     if (opts.grid.empty()) {
         std::fprintf(stderr,
@@ -571,70 +781,259 @@ cmdSweep(int argc, char **argv)
         }
     }
 
-    // Cartesian product, first --param outermost.
-    std::size_t points = 1;
+    // The manifest pins the whole sweep; in-process and sharded runs
+    // both execute through it (runSweepPoint / assembleSweepDoc), so
+    // their documents agree byte for byte.
+    SweepManifest manifest;
+    manifest.experiment = spec->name;
     for (const auto &[key, values] : opts.grid)
-        points *= values.size();
+        manifest.axes.push_back(SweepAxis{key, values});
+    manifest.shards = svc.shardsSet
+                          ? static_cast<unsigned>(svc.shards)
+                          : 1;
+    manifest.workloads = svc.workloads;
+    manifest.overrides = svc.overrides;
+    manifest.warmup = svc.warmup;
+    manifest.measure = svc.measure;
 
-    struct Point
-    {
-        std::vector<std::pair<std::string, std::string>> params;
-        ResultValue doc;
-    };
-    std::vector<Point> grid(points);
-    for (std::size_t p = 0; p < points; ++p) {
-        std::size_t rest = p;
-        for (auto it = opts.grid.rbegin(); it != opts.grid.rend();
-             ++it) {
-            const std::size_t n = it->second.size();
-            grid[p].params.emplace_back(it->first,
-                                        it->second[rest % n]);
-            rest /= n;
+    std::string err;
+    const std::uint64_t points = sweepPointCount(manifest);
+
+    if (svc.shardsSet) {
+        if (svc.resume) {
+            // A resume must be the same sweep: the command line is
+            // re-pinned and compared byte for byte against the
+            // manifest the crashed run wrote.
+            const auto on_disk =
+                loadManifest(sweepManifestPath(svc.dir), &err);
+            if (!on_disk) {
+                std::fprintf(stderr, "pifetch sweep: %s (run without "
+                             "--resume to start fresh)\n",
+                             err.c_str());
+                return 2;
+            }
+            if (manifestJson(*on_disk) != manifestJson(manifest)) {
+                std::fprintf(stderr,
+                             "pifetch sweep: %s pins a different "
+                             "sweep than this command line; --resume "
+                             "needs the original arguments\n",
+                             sweepManifestPath(svc.dir).c_str());
+                return 2;
+            }
+        } else if (!initSweepDir(svc.dir, manifest, &err)) {
+            std::fprintf(stderr, "pifetch sweep: %s\n", err.c_str());
+            return 1;
         }
-        std::reverse(grid[p].params.begin(), grid[p].params.end());
+        const std::string exe = selfExePath();
+        if (exe.empty()) {
+            std::fprintf(stderr,
+                         "pifetch sweep: cannot resolve own "
+                         "executable path for shard workers\n");
+            return 1;
+        }
+        if (!runShardedSweep(svc.dir, manifest, exe,
+                             opts.run.cfg.threads, svc.resume,
+                             &err)) {
+            std::fprintf(stderr, "pifetch sweep: %s\n", err.c_str());
+            return 1;
+        }
+        const auto doc = mergeShardedSweep(svc.dir, manifest, &err);
+        if (!doc) {
+            std::fprintf(stderr, "pifetch sweep: %s\n", err.c_str());
+            return 1;
+        }
+        if (!writeOutput(sweepMergedPath(svc.dir),
+                         toJson(*doc, 2) + "\n"))
+            return 1;
+        return emitSweepDoc(opts, *doc);
     }
 
-    // Grid points fan over the pool; each point runs serially inside
-    // (threads = 1) so the fan-out is the only parallelism.
-    const unsigned threads = opts.run.cfg.threads;
-    parallelFor(threads, points, [&](std::uint64_t p) {
-        RunOptions point = opts.run;
-        point.cfg.threads = 1;
-        for (const auto &[key, value] : grid[p].params)
-            applyConfigOverride(point.cfg, key, value);
-        grid[p].doc = runExperiment(*spec, point);
+    // In-process: grid points fan over the worker pool; each point
+    // runs serially inside (threads = 1) so the fan-out is the only
+    // parallelism.
+    const auto base = sweepBaseOptions(*spec, manifest, &err);
+    if (!base) {
+        std::fprintf(stderr, "pifetch sweep: %s\n", err.c_str());
+        return 2;
+    }
+    std::vector<ResultValue> docs(points);
+    parallelFor(opts.run.cfg.threads, points, [&](std::uint64_t p) {
+        docs[p] = runSweepPoint(*spec, *base, manifest, p);
     });
+    const ResultValue doc = assembleSweepDoc(manifest,
+                                             std::move(docs));
+    return emitSweepDoc(opts, doc);
+}
 
-    ResultValue runs = ResultValue::array();
-    for (Point &point : grid) {
-        ResultValue params = ResultValue::object();
-        for (const auto &[key, value] : point.params)
-            params.set(key, value);
-        ResultValue entry = ResultValue::object();
-        entry.set("params", std::move(params));
-        entry.set("result", std::move(point.doc));
-        runs.push(std::move(entry));
-    }
+/** `pifetch trace info` document for one trace file. */
+std::optional<ResultValue>
+traceInfoDoc(const std::string &path, std::string *err)
+{
+    const auto format = probeTraceFile(path, err);
+    if (!format)
+        return std::nullopt;
     ResultValue doc = ResultValue::object();
-    doc.set("experiment", spec->name);
-    doc.set("sweep", true);
-    doc.set("points", points);
-    doc.set("runs", std::move(runs));
-
-    if (wantReport(opts)) {
-        for (std::size_t p = 0; p < points; ++p) {
-            std::printf("--- point %zu/%zu:", p + 1, points);
-            for (const auto &[key, value] : grid[p].params)
-                std::printf(" %s=%s", key.c_str(), value.c_str());
-            std::printf(" ---\n");
-            const ResultValue *result =
-                doc.find("runs")->at(p).find("result");
-            std::fputs(renderText(*result).c_str(), stdout);
+    doc.set("path", path);
+    if (*format == TraceFileFormat::V1) {
+        std::vector<RetiredInstr> records;
+        if (!readTrace(path, records)) {
+            if (err)
+                *err = path + ": invalid v1 trace";
+            return std::nullopt;
         }
+        doc.set("format", "pifetch-trace-v1");
+        doc.set("records", records.size());
+        const std::uint64_t bytes = 16 + 24 * records.size();
+        doc.set("fileBytes", bytes);
+        if (!records.empty())
+            doc.set("bytesPerRecord",
+                    static_cast<double>(bytes) /
+                        static_cast<double>(records.size()));
+        return doc;
     }
-    if (!opts.jsonPath.empty() &&
-        !writeOutput(opts.jsonPath, toJson(doc, 2) + "\n"))
+    const auto info = traceV2Info(path, err);
+    if (!info)
+        return std::nullopt;
+    doc.set("format", "pifetch-trace-v2");
+    doc.set("records", info->count);
+    doc.set("fileBytes", info->fileBytes);
+    doc.set("chunks", info->chunks.size());
+    doc.set("indexOffset", info->indexOffset);
+    if (info->count > 0) {
+        doc.set("bytesPerRecord",
+                static_cast<double>(info->fileBytes) /
+                    static_cast<double>(info->count));
+        const double v1_bytes =
+            16.0 + 24.0 * static_cast<double>(info->count);
+        doc.set("v1Ratio",
+                v1_bytes / static_cast<double>(info->fileBytes));
+    }
+    return doc;
+}
+
+int
+cmdTrace(int argc, char **argv)
+{
+    const auto fail = [](const std::string &msg) {
+        std::fprintf(stderr, "pifetch trace: %s\n", msg.c_str());
         return 1;
+    };
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "pifetch trace: expected pack|unpack|info\n");
+        return 2;
+    }
+    const std::string verb = argv[2];
+    std::string err;
+
+    if (verb == "info") {
+        if (argc < 4) {
+            std::fprintf(stderr,
+                         "pifetch trace info: missing file\n");
+            return 2;
+        }
+        std::string json_path;
+        for (int i = 5; i < argc; i += 2) {
+            if (std::strcmp(argv[i - 1], "--json") == 0) {
+                json_path = argv[i];
+            } else {
+                std::fprintf(stderr,
+                             "pifetch trace info: unknown option "
+                             "'%s'\n", argv[i - 1]);
+                return 2;
+            }
+        }
+        const auto doc = traceInfoDoc(argv[3], &err);
+        if (!doc)
+            return fail(err);
+        if (json_path.empty() || json_path != "-") {
+            for (std::size_t i = 0; i < doc->size(); ++i) {
+                const auto &[key, value] = doc->member(i);
+                std::printf("%-14s %s\n", key.c_str(),
+                            toJson(value, 0).c_str());
+            }
+        }
+        if (!json_path.empty() &&
+            !writeOutput(json_path, toJson(*doc, 2) + "\n"))
+            return 1;
+        return 0;
+    }
+
+    if (verb != "pack" && verb != "unpack") {
+        std::fprintf(stderr,
+                     "pifetch trace: unknown verb '%s' (expected "
+                     "pack|unpack|info)\n", verb.c_str());
+        return 2;
+    }
+    if (argc != 5) {
+        std::fprintf(stderr,
+                     "pifetch trace %s: expected <in> <out>\n",
+                     verb.c_str());
+        return 2;
+    }
+    const std::string in = argv[3];
+    const std::string out = argv[4];
+    const auto format = probeTraceFile(in, &err);
+    if (!format)
+        return fail(err);
+
+    // Both directions stream chunk by chunk through RecordBatch
+    // columns, so repacking a multi-gigabyte corpus holds one chunk.
+    RecordBatch batch;
+    if (verb == "pack") {
+        TraceV2Writer writer;
+        if (!writer.open(out))
+            return fail(writer.error());
+        if (*format == TraceFileFormat::V1) {
+            TraceBatchReader reader;
+            if (!reader.open(in))
+                return fail(in + ": invalid v1 trace");
+            while (reader.next(batch, traceV2ChunkRecords))
+                writer.addBatch(batch);
+            if (reader.failed())
+                return fail(in + ": read error mid-stream");
+        } else {
+            TraceV2Reader reader;
+            if (!reader.open(in))
+                return fail(reader.error());
+            while (reader.next(batch))
+                writer.addBatch(batch);
+            if (reader.failed())
+                return fail(reader.error());
+        }
+        if (!writer.finish())
+            return fail(writer.error());
+        std::printf("packed %llu records to %s\n",
+                    static_cast<unsigned long long>(writer.count()),
+                    out.c_str());
+        return 0;
+    }
+
+    TraceWriter writer;
+    if (!writer.open(out))
+        return fail(writer.error());
+    if (*format == TraceFileFormat::V2) {
+        TraceV2Reader reader;
+        if (!reader.open(in))
+            return fail(reader.error());
+        while (reader.next(batch))
+            writer.addBatch(batch);
+        if (reader.failed())
+            return fail(reader.error());
+    } else {
+        TraceBatchReader reader;
+        if (!reader.open(in))
+            return fail(in + ": invalid v1 trace");
+        while (reader.next(batch, traceV2ChunkRecords))
+            writer.addBatch(batch);
+        if (reader.failed())
+            return fail(in + ": read error mid-stream");
+    }
+    if (!writer.finish())
+        return fail(writer.error());
+    std::printf("unpacked %llu records to %s\n",
+                static_cast<unsigned long long>(writer.count()),
+                out.c_str());
     return 0;
 }
 
@@ -1471,6 +1870,8 @@ main(int argc, char **argv)
         return cmdRun(argc, argv);
     if (cmd == "sweep")
         return cmdSweep(argc, argv);
+    if (cmd == "trace")
+        return cmdTrace(argc, argv);
     if (cmd == "golden")
         return cmdGolden(argc, argv);
     if (cmd == "perf")

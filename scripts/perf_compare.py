@@ -13,11 +13,18 @@ regressions — or when a baseline kernel is missing from the current
 run (a silently dropped kernel must not read as a pass). Kernels new
 in the current run are reported but never gate.
 
+On failure the offending kernels are named everywhere a human will
+look: per-kernel lines on stderr, the final summary line, and (when
+running under GitHub Actions) one ::error:: workflow annotation per
+kernel so the PR checks UI shows "kernel 'X' regressed ..." without
+opening the job log.
+
 Exit codes: 0 ok, 1 regression/missing kernel, 2 usage or bad input.
 """
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -75,12 +82,13 @@ def main():
                 f"rerun `pifetch perf` with the baseline's {key} "
                 f"to compare")
 
-    failures = []
+    failures = []  # (kernel name, reason) pairs
     print(f"{'kernel':<22} {'base Mops/s':>12} {'cur Mops/s':>12} "
           f"{'ratio':>7}  status")
     for name, base_ops in base.items():
         if name not in cur:
-            failures.append(f"kernel '{name}' missing from current run")
+            failures.append(
+                (name, f"kernel '{name}' missing from current run"))
             print(f"{name:<22} {base_ops / 1e6:>12.2f} {'-':>12} "
                   f"{'-':>7}  MISSING")
             continue
@@ -97,17 +105,27 @@ def main():
               f"{cur_ops / 1e6:>12.2f} {ratio:>6.2f}x  {status}")
         if regressed:
             failures.append(
-                f"kernel '{name}' regressed to {ratio:.2f}x of "
-                f"baseline (gate: >= {1.0 - args.tolerance:.2f}x)")
+                (name,
+                 f"kernel '{name}' regressed to {ratio:.2f}x of "
+                 f"baseline ({base_ops / 1e6:.2f} -> "
+                 f"{cur_ops / 1e6:.2f} Mops/s; gate: >= "
+                 f"{1.0 - args.tolerance:.2f}x)"))
     for name in cur:
         if name not in base:
             print(f"{name:<22} {'-':>12} {cur[name] / 1e6:>12.2f} "
                   f"{'-':>7}  new (not gated)")
 
     if failures:
-        print("\nperf_compare: FAIL", file=sys.stderr)
-        for f in failures:
-            print(f"  - {f}", file=sys.stderr)
+        names = ", ".join(name for name, _ in failures)
+        print(f"\nperf_compare: FAIL — {len(failures)} kernel(s) "
+              f"out of tolerance: {names}", file=sys.stderr)
+        for _, reason in failures:
+            print(f"  - {reason}", file=sys.stderr)
+        if os.environ.get("GITHUB_ACTIONS") == "true":
+            # One workflow annotation per kernel, so the PR checks UI
+            # names the culprit without a trip into the job log.
+            for _, reason in failures:
+                print(f"::error title=perf gate::{reason}")
         sys.exit(1)
     print("\nperf_compare: ok (tolerance "
           f"{args.tolerance:.0%} drop)")

@@ -177,6 +177,128 @@ readTrace(const std::string &path, std::vector<RetiredInstr> &records)
     return true;
 }
 
+TraceWriter::~TraceWriter()
+{
+    if (file_) {
+        std::fclose(static_cast<std::FILE *>(file_));
+        file_ = nullptr;
+    }
+}
+
+void
+TraceWriter::fail(const std::string &msg)
+{
+    if (!failed_) {
+        failed_ = true;
+        error_ = msg;
+    }
+    if (file_) {
+        std::fclose(static_cast<std::FILE *>(file_));
+        file_ = nullptr;
+    }
+}
+
+bool
+TraceWriter::open(const std::string &path)
+{
+    if (file_ || finished_) {
+        fail("trace writer: open() called twice");
+        return false;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        fail("cannot create " + path);
+        return false;
+    }
+    file_ = f;
+    pending_.reserve(chunkRecords);
+
+    // Placeholder count; finish() seeks back and writes the real one.
+    Header h{traceMagic, traceVersion, 0};
+    if (std::fwrite(&h, sizeof(h), 1, f) != 1) {
+        fail("cannot write trace header to " + path);
+        return false;
+    }
+    return true;
+}
+
+void
+TraceWriter::add(const RetiredInstr &r)
+{
+    if (failed_ || finished_)
+        return;
+    pending_.push_back(r);
+    ++count_;
+    if (pending_.size() >= chunkRecords)
+        flushChunk();
+}
+
+bool
+TraceWriter::addBatch(const RecordBatch &batch)
+{
+    for (std::uint32_t i = 0; i < batch.size && !failed_; ++i)
+        add(batch.get(i));
+    return !failed_;
+}
+
+void
+TraceWriter::flushChunk()
+{
+    if (pending_.empty() || failed_)
+        return;
+    std::vector<DiskRecord> chunk(pending_.size());
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        const RetiredInstr &r = pending_[i];
+        DiskRecord d{};
+        d.pc = r.pc;
+        d.target = r.target;
+        d.kind = static_cast<std::uint8_t>(r.kind);
+        d.trapLevel = r.trapLevel;
+        d.taken = r.taken ? 1 : 0;
+        chunk[i] = d;
+    }
+    if (std::fwrite(chunk.data(), sizeof(DiskRecord), chunk.size(),
+                    static_cast<std::FILE *>(file_)) != chunk.size()) {
+        fail("cannot write trace chunk");
+        return;
+    }
+    pending_.clear();
+}
+
+bool
+TraceWriter::finish()
+{
+    if (failed_)
+        return false;
+    if (finished_ || file_ == nullptr) {
+        fail("trace writer: finish() without an open file");
+        return false;
+    }
+    flushChunk();
+    if (failed_)
+        return false;
+    std::FILE *f = static_cast<std::FILE *>(file_);
+
+    Header h{traceMagic, traceVersion, count_};
+    if (std::fseek(f, 0, SEEK_SET) != 0 ||
+        std::fwrite(&h, sizeof(h), 1, f) != 1) {
+        fail("cannot finalize trace header");
+        return false;
+    }
+    if (std::fflush(f) != 0) {
+        fail("flush failed finalizing trace");
+        return false;
+    }
+    file_ = nullptr;
+    finished_ = true;
+    if (std::fclose(f) != 0) {
+        failed_ = true;
+        error_ = "close failed finalizing trace";
+        return false;
+    }
+    return true;
+}
+
 bool
 TraceBatchReader::open(const std::string &path)
 {

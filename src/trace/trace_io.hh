@@ -54,6 +54,55 @@ bool readTrace(const std::string &path,
                std::vector<RetiredInstr> &records);
 
 /**
+ * Streaming v1 writer: the counterpart of TraceBatchReader for code
+ * that produces records incrementally (e.g. `pifetch trace unpack`
+ * converting a v2 corpus back to v1 chunk by chunk). Buffers one disk
+ * chunk of records, writes the header with a placeholder count, and
+ * finish() seeks back to finalize it — so a multi-gigabyte conversion
+ * never holds more than one chunk in memory. Mirrors writeTrace()'s
+ * flush-and-close error discipline.
+ */
+class TraceWriter
+{
+  public:
+    TraceWriter() = default;
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Open @p path for writing. @return false on failure (error()). */
+    bool open(const std::string &path);
+
+    /** Append one record (buffered at disk-chunk granularity). */
+    void add(const RetiredInstr &r);
+
+    /** Append a decoded batch. @return false once failed() is set. */
+    bool addBatch(const RecordBatch &batch);
+
+    /** Flush the final chunk, rewrite the header with the real count,
+     *  flush and close. @return false on any I/O failure. */
+    bool finish();
+
+    /** Records appended so far. */
+    std::uint64_t count() const { return count_; }
+
+    bool failed() const { return failed_; }
+    const std::string &error() const { return error_; }
+
+  private:
+    void flushChunk();
+    void fail(const std::string &msg);
+
+    void *file_ = nullptr;  //!< std::FILE, opaque to the header
+    std::uint64_t count_ = 0;
+    std::vector<RetiredInstr> pending_;  //!< records of the open chunk
+    bool failed_ = false;
+    bool finished_ = false;
+    std::string error_;
+};
+
+/**
  * Streaming batch decoder for trace files.
  *
  * Where readTrace() materializes the whole file as one AoS vector,

@@ -1,0 +1,696 @@
+/**
+ * @file
+ * Trace format v2 implementation.
+ *
+ * The encoder works chunk-at-a-time through a scratch byte buffer, so
+ * conversion of an arbitrarily long capture holds one chunk of
+ * records in memory. Every failure path sets a distinct, actionable
+ * message — the corruption battery in tests/test_trace_v2.cc locks
+ * that each planted fault (truncation, flipped block bit, bad index
+ * offset, stale v1 header) reports as itself, not as a generic error.
+ */
+
+#include "trace/trace_v2.hh"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "common/digest.hh"
+
+namespace pifetch {
+
+namespace {
+
+/** v2 file header (packed, little-endian host assumed, like v1). */
+struct HeaderV2
+{
+    std::uint32_t magic;
+    std::uint32_t version;
+    std::uint64_t count;
+    std::uint64_t indexOffset;
+    std::uint32_t chunkCount;
+    std::uint32_t flags;
+};
+
+static_assert(sizeof(HeaderV2) == 32, "unexpected v2 header size");
+
+/** Per-chunk on-disk header preceding the payload. */
+struct ChunkHeader
+{
+    std::uint32_t records;
+    std::uint32_t payloadBytes;
+    std::uint64_t digest;
+};
+
+static_assert(sizeof(ChunkHeader) == 16, "unexpected chunk header size");
+
+/** One on-disk entry of the trailing chunk index. */
+struct IndexEntry
+{
+    std::uint64_t offset;
+    std::uint64_t firstRecord;
+    std::uint32_t records;
+    std::uint32_t payloadBytes;
+    std::uint64_t digest;
+};
+
+static_assert(sizeof(IndexEntry) == 32, "unexpected index entry size");
+
+/** Record flag byte: kind, taken, has-target; high bits reserved 0. */
+constexpr std::uint8_t flagTaken = 1u << 3;
+constexpr std::uint8_t flagHasTarget = 1u << 4;
+constexpr std::uint8_t flagReserved = 0xe0;
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { if (f) std::fclose(f); }
+};
+
+/** Size of @p f when it is a regular file, else nullopt. */
+std::optional<std::uint64_t>
+regularFileSize(std::FILE *f)
+{
+    struct stat st;
+    if (fstat(fileno(f), &st) != 0 || !S_ISREG(st.st_mode))
+        return std::nullopt;
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
+/** Zigzag-fold a modular difference into a small unsigned value. */
+std::uint64_t
+zigzag(std::uint64_t delta)
+{
+    return (delta << 1) ^ (0 - (delta >> 63));
+}
+
+std::uint64_t
+unzigzag(std::uint64_t z)
+{
+    return (z >> 1) ^ (0 - (z & 1));
+}
+
+void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/**
+ * Canonical LEB128 decode with hard bounds: overruns of the payload
+ * and non-canonical 10th bytes (bits past 2^63) are both malformed.
+ */
+bool
+getVarint(const std::uint8_t *payload, std::size_t &pos,
+          std::size_t end, std::uint64_t &v)
+{
+    v = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+        if (pos >= end)
+            return false;
+        const std::uint8_t b = payload[pos++];
+        v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            return shift < 63 || (b >> 1) == 0;
+    }
+    return false;
+}
+
+/** FNV-1a over the chunk's records, digestRetire word encoding. */
+std::uint64_t
+chunkDigest(const RetiredInstr *recs, std::size_t n)
+{
+    StreamDigest d;
+    for (std::size_t i = 0; i < n; ++i)
+        digestRetire(d, recs[i]);
+    return d.value();
+}
+
+/** FNV-1a over the index entries (field order, 64-bit words). */
+std::uint64_t
+indexDigest(const std::vector<IndexEntry> &entries)
+{
+    StreamDigest d;
+    for (const IndexEntry &e : entries) {
+        d.add(e.offset);
+        d.add(e.firstRecord);
+        d.add((static_cast<std::uint64_t>(e.records) << 32) |
+              e.payloadBytes);
+        d.add(e.digest);
+    }
+    return d.value();
+}
+
+/** Encode @p n records into @p out (cleared first). */
+void
+encodeChunkPayload(const RetiredInstr *recs, std::size_t n,
+                   std::vector<std::uint8_t> &out)
+{
+    out.clear();
+
+    // Section A: one flag byte per record.
+    for (std::size_t i = 0; i < n; ++i) {
+        const RetiredInstr &r = recs[i];
+        std::uint8_t flags = static_cast<std::uint8_t>(r.kind) & 0x7;
+        if (r.taken)
+            flags |= flagTaken;
+        if (r.target != invalidAddr)
+            flags |= flagHasTarget;
+        out.push_back(flags);
+    }
+
+    // Section B: trap-level runs (level byte, varint run length).
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i + 1;
+        while (j < n && recs[j].trapLevel == recs[i].trapLevel)
+            ++j;
+        out.push_back(recs[i].trapLevel);
+        putVarint(out, j - i);
+        i = j;
+    }
+
+    // Section C: pc as zigzag deltas from the previous pc (0 at the
+    // chunk start, keeping every chunk independently decodable).
+    Addr prev = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+        putVarint(out, zigzag(recs[k].pc - prev));
+        prev = recs[k].pc;
+    }
+
+    // Section D: target as a zigzag delta from the record's own pc,
+    // present only where the has-target flag is set.
+    for (std::size_t k = 0; k < n; ++k) {
+        if (recs[k].target != invalidAddr)
+            putVarint(out, zigzag(recs[k].target - recs[k].pc));
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------- TraceV2Writer
+
+TraceV2Writer::~TraceV2Writer()
+{
+    if (file_) {
+        std::fclose(static_cast<std::FILE *>(file_));
+        file_ = nullptr;
+    }
+}
+
+void
+TraceV2Writer::fail(const std::string &msg)
+{
+    if (!failed_) {
+        failed_ = true;
+        error_ = msg;
+    }
+    if (file_) {
+        std::fclose(static_cast<std::FILE *>(file_));
+        file_ = nullptr;
+    }
+}
+
+bool
+TraceV2Writer::open(const std::string &path)
+{
+    if (file_ || finished_) {
+        fail("trace v2 writer: open() called twice");
+        return false;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        fail("cannot create " + path);
+        return false;
+    }
+    file_ = f;
+    pending_.reserve(traceV2ChunkRecords);
+
+    // Placeholder header; finish() seeks back and fills in the count,
+    // index offset and chunk count.
+    HeaderV2 h{traceMagic, traceVersion2, 0, 0, 0, 0};
+    if (std::fwrite(&h, sizeof(h), 1, f) != 1) {
+        fail("cannot write v2 header to " + path);
+        return false;
+    }
+    return true;
+}
+
+void
+TraceV2Writer::add(const RetiredInstr &r)
+{
+    if (failed_ || finished_)
+        return;
+    pending_.push_back(r);
+    ++count_;
+    if (pending_.size() >= traceV2ChunkRecords)
+        flushChunk();
+}
+
+bool
+TraceV2Writer::addBatch(const RecordBatch &batch)
+{
+    for (std::uint32_t i = 0; i < batch.size && !failed_; ++i)
+        add(batch.get(i));
+    return !failed_;
+}
+
+void
+TraceV2Writer::flushChunk()
+{
+    if (pending_.empty() || failed_)
+        return;
+    std::FILE *f = static_cast<std::FILE *>(file_);
+
+    encodeChunkPayload(pending_.data(), pending_.size(), payload_);
+
+    TraceV2ChunkInfo info;
+    info.offset = index_.empty()
+                      ? sizeof(HeaderV2)
+                      : index_.back().offset + sizeof(ChunkHeader) +
+                            index_.back().payloadBytes;
+    info.firstRecord = count_ - pending_.size();
+    info.records = static_cast<std::uint32_t>(pending_.size());
+    info.payloadBytes = static_cast<std::uint32_t>(payload_.size());
+    info.digest = chunkDigest(pending_.data(), pending_.size());
+
+    ChunkHeader ch{info.records, info.payloadBytes, info.digest};
+    if (std::fwrite(&ch, sizeof(ch), 1, f) != 1 ||
+        (payload_.size() > 0 &&
+         std::fwrite(payload_.data(), 1, payload_.size(), f) !=
+             payload_.size())) {
+        fail("cannot write chunk " + std::to_string(index_.size()));
+        return;
+    }
+    index_.push_back(info);
+    pending_.clear();
+}
+
+bool
+TraceV2Writer::finish()
+{
+    if (failed_)
+        return false;
+    if (finished_ || file_ == nullptr) {
+        fail("trace v2 writer: finish() without an open file");
+        return false;
+    }
+    flushChunk();
+    if (failed_)
+        return false;
+    std::FILE *f = static_cast<std::FILE *>(file_);
+
+    std::uint64_t index_offset = sizeof(HeaderV2);
+    std::vector<IndexEntry> entries;
+    entries.reserve(index_.size());
+    for (const TraceV2ChunkInfo &c : index_) {
+        entries.push_back(IndexEntry{c.offset, c.firstRecord, c.records,
+                                     c.payloadBytes, c.digest});
+        index_offset += sizeof(ChunkHeader) + c.payloadBytes;
+    }
+    const std::uint64_t idx_digest = indexDigest(entries);
+    if ((!entries.empty() &&
+         std::fwrite(entries.data(), sizeof(IndexEntry), entries.size(),
+                     f) != entries.size()) ||
+        std::fwrite(&idx_digest, sizeof(idx_digest), 1, f) != 1) {
+        fail("cannot write chunk index");
+        return false;
+    }
+
+    HeaderV2 h{traceMagic, traceVersion2, count_, index_offset,
+               static_cast<std::uint32_t>(entries.size()), 0};
+    if (std::fseek(f, 0, SEEK_SET) != 0 ||
+        std::fwrite(&h, sizeof(h), 1, f) != 1) {
+        fail("cannot finalize v2 header");
+        return false;
+    }
+
+    // Flush explicitly, then close the handle ourselves so a deferred
+    // write error (ENOSPC at flush/close) reports as failure.
+    if (std::fflush(f) != 0) {
+        fail("flush failed finalizing v2 trace");
+        return false;
+    }
+    file_ = nullptr;
+    finished_ = true;
+    if (std::fclose(f) != 0) {
+        failed_ = true;
+        error_ = "close failed finalizing v2 trace";
+        return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------- TraceV2Reader
+
+bool
+TraceV2Reader::fail(const std::string &msg)
+{
+    failed_ = true;
+    error_ = msg;
+    close();
+    return false;
+}
+
+void
+TraceV2Reader::close()
+{
+    if (file_) {
+        std::fclose(static_cast<std::FILE *>(file_));
+        file_ = nullptr;
+    }
+}
+
+bool
+TraceV2Reader::open(const std::string &path)
+{
+    close();
+    failed_ = false;
+    error_.clear();
+    info_ = TraceV2Info{};
+    nextChunk_ = 0;
+
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return fail("cannot open " + path);
+    file_ = f;
+
+    const std::optional<std::uint64_t> size = regularFileSize(f);
+    if (!size)
+        return fail(path + ": not a regular file (v2 needs an index)");
+    info_.fileBytes = *size;
+
+    HeaderV2 h{};
+    if (info_.fileBytes < sizeof(h) ||
+        std::fread(&h, sizeof(h), 1, f) != 1) {
+        return fail(path + ": truncated header (" +
+                    std::to_string(info_.fileBytes) + " of " +
+                    std::to_string(sizeof(h)) + " bytes)");
+    }
+    if (h.magic != traceMagic)
+        return fail(path + ": not a pifetch trace (bad magic)");
+    if (h.version == traceVersion) {
+        return fail(path + ": pifetch trace v1; read it with "
+                    "readTrace(), or convert with `pifetch trace "
+                    "pack`");
+    }
+    if (h.version != traceVersion2) {
+        return fail(path + ": unsupported trace version " +
+                    std::to_string(h.version) + " (this build reads "
+                    "v1 and v2)");
+    }
+
+    // The index offset and chunk count are untrusted: both must land
+    // inside the real file before anything is allocated or followed.
+    const std::uint64_t index_bytes =
+        static_cast<std::uint64_t>(h.chunkCount) * sizeof(IndexEntry) +
+        sizeof(std::uint64_t);
+    if (h.indexOffset < sizeof(HeaderV2) ||
+        h.indexOffset > info_.fileBytes ||
+        index_bytes > info_.fileBytes - h.indexOffset) {
+        return fail(path + ": chunk index offset " +
+                    std::to_string(h.indexOffset) + " (+" +
+                    std::to_string(index_bytes) + " bytes, " +
+                    std::to_string(h.chunkCount) + " chunks) lies "
+                    "outside the " + std::to_string(info_.fileBytes) +
+                    "-byte file — corrupt index offset");
+    }
+    info_.count = h.count;
+    info_.indexOffset = h.indexOffset;
+
+    std::vector<IndexEntry> entries(h.chunkCount);
+    std::uint64_t stored_digest = 0;
+    if (std::fseek(f, static_cast<long>(h.indexOffset), SEEK_SET) != 0 ||
+        (h.chunkCount > 0 &&
+         std::fread(entries.data(), sizeof(IndexEntry), entries.size(),
+                    f) != entries.size()) ||
+        std::fread(&stored_digest, sizeof(stored_digest), 1, f) != 1) {
+        return fail(path + ": cannot read the chunk index");
+    }
+    if (stored_digest != indexDigest(entries))
+        return fail(path + ": chunk index digest mismatch — the index "
+                    "block is corrupt");
+
+    // Entries must tile [header, indexOffset) in order and add up to
+    // exactly the record count the header promises.
+    std::uint64_t expect_offset = sizeof(HeaderV2);
+    std::uint64_t expect_first = 0;
+    for (std::size_t k = 0; k < entries.size(); ++k) {
+        const IndexEntry &e = entries[k];
+        if (e.offset != expect_offset || e.firstRecord != expect_first ||
+            e.records == 0 || e.records > traceV2ChunkRecords) {
+            return fail(path + ": chunk index entry " +
+                        std::to_string(k) + " is inconsistent "
+                        "(offset/first-record/count out of order)");
+        }
+        expect_offset += sizeof(ChunkHeader) + e.payloadBytes;
+        if (expect_offset > h.indexOffset) {
+            return fail(path + ": chunk index entry " +
+                        std::to_string(k) + " overruns the index "
+                        "block (payload extends past the index "
+                        "offset)");
+        }
+        expect_first += e.records;
+        info_.chunks.push_back(TraceV2ChunkInfo{
+            e.offset, e.firstRecord, e.records, e.payloadBytes,
+            e.digest});
+    }
+    if (expect_first != h.count) {
+        return fail(path + ": chunk index totals " +
+                    std::to_string(expect_first) + " records but the "
+                    "header promises " + std::to_string(h.count));
+    }
+    return true;
+}
+
+bool
+TraceV2Reader::decodeChunk(std::uint32_t k, RecordBatch &out)
+{
+    std::FILE *f = static_cast<std::FILE *>(file_);
+    const TraceV2ChunkInfo &info = info_.chunks[k];
+    const std::string tag = "chunk " + std::to_string(k);
+
+    ChunkHeader ch{};
+    if (std::fseek(f, static_cast<long>(info.offset), SEEK_SET) != 0 ||
+        std::fread(&ch, sizeof(ch), 1, f) != 1)
+        return fail(tag + ": cannot read the chunk header");
+    if (ch.records != info.records ||
+        ch.payloadBytes != info.payloadBytes ||
+        ch.digest != info.digest) {
+        return fail(tag + ": chunk header disagrees with the index "
+                    "entry — corrupt chunk header or index");
+    }
+
+    payload_.resize(ch.payloadBytes);
+    if (ch.payloadBytes > 0 &&
+        std::fread(payload_.data(), 1, payload_.size(), f) !=
+            payload_.size()) {
+        return fail(tag + ": truncated payload (want " +
+                    std::to_string(ch.payloadBytes) + " bytes)");
+    }
+
+    const std::uint32_t n = ch.records;
+    out.clear();
+    out.reserve(n);
+
+    const std::uint8_t *p = payload_.data();
+    const std::size_t end = payload_.size();
+    std::size_t pos = 0;
+
+    // Section A: flags.
+    if (end < n)
+        return fail(tag + ": payload too short for the flag bytes");
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint8_t flags = p[i];
+        const std::uint8_t kind = flags & 0x7;
+        if (kind > static_cast<std::uint8_t>(InstrKind::TrapReturn) ||
+            (flags & flagReserved) != 0) {
+            return fail(tag + ": malformed flag byte for record " +
+                        std::to_string(i));
+        }
+        out.kind[i] = kind;
+        out.taken[i] = (flags & flagTaken) ? 1 : 0;
+    }
+    pos = n;
+
+    // Section B: trap-level runs.
+    std::uint32_t covered = 0;
+    while (covered < n) {
+        if (pos >= end)
+            return fail(tag + ": truncated trap-level runs");
+        const std::uint8_t level = p[pos++];
+        std::uint64_t run = 0;
+        if (!getVarint(p, pos, end, run) || run == 0 ||
+            run > n - covered)
+            return fail(tag + ": malformed trap-level run length");
+        for (std::uint64_t i = 0; i < run; ++i)
+            out.trapLevel[covered + i] = level;
+        covered += static_cast<std::uint32_t>(run);
+    }
+
+    // Section C: pc deltas.
+    Addr prev = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint64_t z = 0;
+        if (!getVarint(p, pos, end, z))
+            return fail(tag + ": malformed pc varint for record " +
+                        std::to_string(i));
+        prev += unzigzag(z);
+        out.pc[i] = prev;
+    }
+
+    // Section D: targets where flagged; invalidAddr elsewhere.
+    for (std::uint32_t i = 0; i < n; ++i) {
+        if (p[i] & flagHasTarget) {
+            std::uint64_t z = 0;
+            if (!getVarint(p, pos, end, z))
+                return fail(tag + ": malformed target varint for "
+                            "record " + std::to_string(i));
+            out.target[i] = out.pc[i] + unzigzag(z);
+        } else {
+            out.target[i] = invalidAddr;
+        }
+    }
+    if (pos != end)
+        return fail(tag + ": " + std::to_string(end - pos) +
+                    " trailing payload bytes after the last section");
+
+    out.size = n;
+    out.computeBlocks();
+
+    StreamDigest d;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const RetiredInstr r = out.get(i);
+        digestRetire(d, r);
+    }
+    if (d.value() != ch.digest) {
+        out.clear();
+        return fail(tag + ": payload digest mismatch (stored " +
+                    std::to_string(ch.digest) + ", decoded " +
+                    std::to_string(d.value()) + ") — corrupt "
+                    "compressed block");
+    }
+    return true;
+}
+
+bool
+TraceV2Reader::next(RecordBatch &out)
+{
+    out.clear();
+    if (failed_ || file_ == nullptr ||
+        nextChunk_ >= info_.chunks.size())
+        return false;
+    const std::uint32_t k = nextChunk_;
+    if (!decodeChunk(k, out)) {
+        out.clear();
+        return false;
+    }
+    ++nextChunk_;
+    return true;
+}
+
+bool
+TraceV2Reader::readChunk(std::uint32_t k, RecordBatch &out)
+{
+    out.clear();
+    if (failed_ || file_ == nullptr)
+        return false;
+    if (k >= info_.chunks.size())
+        return fail("chunk " + std::to_string(k) + " out of range (" +
+                    std::to_string(info_.chunks.size()) + " chunks)");
+    if (!decodeChunk(k, out)) {
+        out.clear();
+        return false;
+    }
+    return true;
+}
+
+// -------------------------------------------------------- free functions
+
+bool
+writeTraceV2(const std::string &path,
+             const std::vector<RetiredInstr> &records, std::string *err)
+{
+    TraceV2Writer writer;
+    if (writer.open(path)) {
+        for (const RetiredInstr &r : records)
+            writer.add(r);
+        if (writer.finish())
+            return true;
+    }
+    if (err)
+        *err = writer.error();
+    return false;
+}
+
+bool
+readTraceV2(const std::string &path, std::vector<RetiredInstr> &records,
+            std::string *err)
+{
+    records.clear();
+    TraceV2Reader reader;
+    if (!reader.open(path)) {
+        if (err)
+            *err = reader.error();
+        return false;
+    }
+    records.reserve(reader.count());
+    RecordBatch batch;
+    while (reader.next(batch)) {
+        for (std::uint32_t i = 0; i < batch.size; ++i)
+            records.push_back(batch.get(i));
+    }
+    if (reader.failed()) {
+        records.clear();
+        if (err)
+            *err = reader.error();
+        return false;
+    }
+    return true;
+}
+
+std::optional<TraceV2Info>
+traceV2Info(const std::string &path, std::string *err)
+{
+    TraceV2Reader reader;
+    if (!reader.open(path)) {
+        if (err)
+            *err = reader.error();
+        return std::nullopt;
+    }
+    return reader.info();
+}
+
+std::optional<TraceFileFormat>
+probeTraceFile(const std::string &path, std::string *err)
+{
+    const auto fail = [&](const std::string &msg) {
+        if (err)
+            *err = msg;
+        return std::nullopt;
+    };
+    std::unique_ptr<std::FILE, FileCloser> f(
+        std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return fail("cannot open " + path);
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    if (std::fread(&magic, sizeof(magic), 1, f.get()) != 1 ||
+        std::fread(&version, sizeof(version), 1, f.get()) != 1)
+        return fail(path + ": truncated header");
+    if (magic != traceMagic)
+        return fail(path + ": not a pifetch trace (bad magic)");
+    if (version == traceVersion)
+        return TraceFileFormat::V1;
+    if (version == traceVersion2)
+        return TraceFileFormat::V2;
+    return fail(path + ": unsupported trace version " +
+                std::to_string(version));
+}
+
+} // namespace pifetch

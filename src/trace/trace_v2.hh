@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Trace container format v2: delta/varint compressed, chunk indexed.
+ *
+ * v1 (trace_io.hh) spends a fixed 24 bytes per record, which caps the
+ * corpus the ROADMAP's billion-instruction replays can afford to keep
+ * on disk. v2 stores the same RetiredInstr stream in self-contained
+ * chunks of up to traceV2ChunkRecords records, each encoded
+ * columnarly:
+ *
+ *   flags     one byte per record: kind (bits 0-2), taken (bit 3),
+ *             has-target (bit 4; target != invalidAddr)
+ *   trap RLE  (level byte, varint run length) pairs covering the chunk
+ *   pc        zigzag varint deltas from the previous pc (0 at the
+ *             chunk start, so chunks decode independently)
+ *   target    zigzag varint delta from the record's own pc, only for
+ *             records whose has-target flag is set
+ *
+ * Every chunk carries an FNV-1a digest folded over its decoded
+ * records with exactly the digestRetire() word encoding the
+ * cross-engine oracles use, so a flipped bit in a compressed block is
+ * caught at decode time, not as a silently different replay. A
+ * trailing chunk index (offset, first record, count, payload bytes,
+ * digest per chunk, plus an index digest) lets readers seek straight
+ * to any chunk; the header records the index offset.
+ *
+ * Readers hand records out one chunk at a time as structure-of-arrays
+ * RecordBatch columns — the engines' batched replay input — so a v2
+ * corpus never materializes the old AoS form. Failures carry distinct,
+ * actionable messages (error()); docs/trace_format.md specifies the
+ * wire layout byte for byte.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+#include "trace/trace_io.hh"
+
+namespace pifetch {
+
+/** Trace format version written by TraceV2Writer. */
+constexpr std::uint32_t traceVersion2 = 2;
+
+/** Records per v2 chunk (the v1 chunking granularity, kept equal so
+ *  pack/unpack stream chunk for chunk). */
+constexpr std::uint32_t traceV2ChunkRecords = 32 * 1024;
+
+/** One entry of the trailing chunk index. */
+struct TraceV2ChunkInfo
+{
+    std::uint64_t offset = 0;       //!< chunk header's file offset
+    std::uint64_t firstRecord = 0;  //!< stream index of its record 0
+    std::uint32_t records = 0;      //!< records in the chunk
+    std::uint32_t payloadBytes = 0; //!< encoded payload size
+    std::uint64_t digest = 0;       //!< FNV-1a over the records
+};
+
+/** Parsed header + index of a v2 file (no payloads decoded). */
+struct TraceV2Info
+{
+    std::uint64_t count = 0;      //!< total records
+    std::uint64_t fileBytes = 0;  //!< on-disk size
+    std::uint64_t indexOffset = 0;
+    std::vector<TraceV2ChunkInfo> chunks;
+};
+
+/**
+ * Streaming v2 writer.
+ *
+ * Records are buffered and encoded one chunk at a time, so a
+ * multi-gigabyte capture is converted with one chunk of memory. The
+ * header is finalized by finish() (count, index offset), which also
+ * appends the chunk index and flushes; as with writeTrace(), an
+ * ENOSPC surfacing at flush/close reports as failure, never as
+ * silent loss.
+ */
+class TraceV2Writer
+{
+  public:
+    TraceV2Writer() = default;
+    ~TraceV2Writer();
+
+    TraceV2Writer(const TraceV2Writer &) = delete;
+    TraceV2Writer &operator=(const TraceV2Writer &) = delete;
+
+    /** Open @p path for writing. @return false on failure (error()). */
+    bool open(const std::string &path);
+
+    /** Append one record (buffered; encoded at chunk granularity). */
+    void add(const RetiredInstr &r);
+
+    /** Append a decoded batch. @return false once failed() is set. */
+    bool addBatch(const RecordBatch &batch);
+
+    /** Encode the final partial chunk, write the index, rewrite the
+     *  header, flush and close. @return false on any I/O failure. */
+    bool finish();
+
+    /** Records appended so far. */
+    std::uint64_t count() const { return count_; }
+
+    bool failed() const { return failed_; }
+    const std::string &error() const { return error_; }
+
+  private:
+    void flushChunk();
+    void fail(const std::string &msg);
+
+    void *file_ = nullptr;  //!< std::FILE, opaque to the header
+    std::uint64_t count_ = 0;
+    std::vector<RetiredInstr> pending_;  //!< records of the open chunk
+    std::vector<std::uint8_t> payload_;  //!< encode scratch
+    std::vector<TraceV2ChunkInfo> index_;
+    bool failed_ = false;
+    bool finished_ = false;
+    std::string error_;
+};
+
+/**
+ * Streaming v2 reader: one self-contained chunk per next() call,
+ * decoded straight into RecordBatch columns (blocks derived), digest
+ * verified. Chunks are also randomly addressable through readChunk(),
+ * which is what lets sharded consumers split one read-only corpus.
+ */
+class TraceV2Reader
+{
+  public:
+    TraceV2Reader() = default;
+    ~TraceV2Reader() { close(); }
+
+    TraceV2Reader(const TraceV2Reader &) = delete;
+    TraceV2Reader &operator=(const TraceV2Reader &) = delete;
+
+    /**
+     * Open @p path: validate the header, load and validate the chunk
+     * index. A v1 file, a foreign file, a truncated header, a bad
+     * index offset and a corrupt index each fail with their own
+     * message. @return true if the stream is ready.
+     */
+    bool open(const std::string &path);
+
+    /** Records the header promises (valid after open). */
+    std::uint64_t count() const { return info_.count; }
+
+    /** Parsed header + index (valid after open). */
+    const TraceV2Info &info() const { return info_; }
+
+    /**
+     * Decode the next chunk into @p out (columns filled, blocks
+     * computed, digest verified). @return true if @p out holds
+     * records; false at end of stream or on error (check failed()).
+     */
+    bool next(RecordBatch &out);
+
+    /** Decode chunk @p k (0-based) into @p out; does not disturb the
+     *  next() cursor's chunk ordinal beyond seeking. */
+    bool readChunk(std::uint32_t k, RecordBatch &out);
+
+    bool failed() const { return failed_; }
+    const std::string &error() const { return error_; }
+
+    /** Release the underlying file (idempotent). */
+    void close();
+
+  private:
+    bool decodeChunk(std::uint32_t k, RecordBatch &out);
+    bool fail(const std::string &msg);
+
+    void *file_ = nullptr;
+    TraceV2Info info_;
+    std::uint32_t nextChunk_ = 0;
+    std::vector<std::uint8_t> payload_;  //!< decode scratch
+    bool failed_ = false;
+    std::string error_;
+};
+
+/** Write @p records to @p path in v2 form. Sets @p err on failure. */
+bool writeTraceV2(const std::string &path,
+                  const std::vector<RetiredInstr> &records,
+                  std::string *err = nullptr);
+
+/**
+ * Read a whole v2 file into an AoS vector (conversion and test use;
+ * replay paths should stream batches through TraceV2Reader instead).
+ * On failure @p records is left empty and @p err describes the cause.
+ */
+bool readTraceV2(const std::string &path,
+                 std::vector<RetiredInstr> &records,
+                 std::string *err = nullptr);
+
+/** Header + chunk index of a v2 file, without decoding any payload. */
+std::optional<TraceV2Info> traceV2Info(const std::string &path,
+                                       std::string *err = nullptr);
+
+/** Container format of a trace file, from its magic + version. */
+enum class TraceFileFormat { V1, V2 };
+
+/**
+ * Identify @p path as a v1 or v2 pifetch trace. Distinguishes "not a
+ * pifetch trace", "truncated header" and "unsupported future version"
+ * in @p err.
+ */
+std::optional<TraceFileFormat> probeTraceFile(const std::string &path,
+                                              std::string *err = nullptr);
+
+} // namespace pifetch

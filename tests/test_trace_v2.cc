@@ -1,0 +1,524 @@
+/**
+ * @file
+ * Trace format v2 codec tests: exhaustive round-trips, v1 <-> v2
+ * equivalence, seeded pack/unpack fuzz, the planted-corruption
+ * battery, and the six-preset compression/fidelity acceptance check.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+#include "common/digest.hh"
+#include "common/rng.hh"
+#include "sim/workloads.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_v2.hh"
+
+namespace pifetch {
+namespace {
+
+RetiredInstr
+makeRecord(Addr pc, InstrKind kind = InstrKind::Plain,
+           Addr target = invalidAddr, bool taken = false,
+           TrapLevel trap = 0)
+{
+    RetiredInstr r;
+    r.pc = pc;
+    r.kind = kind;
+    r.target = target;
+    r.taken = taken;
+    r.trapLevel = trap;
+    return r;
+}
+
+void
+expectSameRecords(const std::vector<RetiredInstr> &got,
+                  const std::vector<RetiredInstr> &want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(got[i].pc, want[i].pc) << "record " << i;
+        ASSERT_EQ(got[i].target, want[i].target) << "record " << i;
+        ASSERT_EQ(got[i].kind, want[i].kind) << "record " << i;
+        ASSERT_EQ(got[i].taken, want[i].taken) << "record " << i;
+        ASSERT_EQ(got[i].trapLevel, want[i].trapLevel)
+            << "record " << i;
+    }
+}
+
+/** The cross-engine retire-digest fold over a whole stream. */
+std::uint64_t
+streamRetireDigest(const std::vector<RetiredInstr> &records)
+{
+    StreamDigest d;
+    for (const RetiredInstr &r : records)
+        digestRetire(d, r);
+    return d.value();
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return buf.str();
+}
+
+void
+spit(const std::string &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary);
+    os << bytes;
+    ASSERT_TRUE(os.good());
+}
+
+class TraceV2Test : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        base_ = ::testing::TempDir() + "pifetch_trace_v2_" +
+                std::to_string(::getpid());
+        pathA_ = base_ + "_a.trace";
+        pathB_ = base_ + "_b.trace";
+        pathC_ = base_ + "_c.trace";
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(pathA_.c_str());
+        std::remove(pathB_.c_str());
+        std::remove(pathC_.c_str());
+    }
+
+    std::string base_, pathA_, pathB_, pathC_;
+};
+
+TEST_F(TraceV2Test, EveryRecordKindRoundTrips)
+{
+    // Every InstrKind, with and without targets, taken and not,
+    // across trap levels — including the pathological Plain-with-
+    // target record an arbitrary v1 file could contain.
+    std::vector<RetiredInstr> records;
+    const InstrKind kinds[] = {
+        InstrKind::Plain,     InstrKind::CondBranch, InstrKind::Jump,
+        InstrKind::Call,      InstrKind::Return,     InstrKind::TrapEnter,
+        InstrKind::TrapReturn};
+    Addr pc = 0x1000;
+    for (const InstrKind kind : kinds) {
+        for (const bool taken : {false, true}) {
+            for (const bool has_target : {false, true}) {
+                for (const TrapLevel trap : {0, 1, 2}) {
+                    records.push_back(makeRecord(
+                        pc, kind,
+                        has_target ? pc + 0x4444 : invalidAddr, taken,
+                        trap));
+                    pc += 4;
+                }
+            }
+        }
+    }
+    ASSERT_TRUE(writeTraceV2(pathA_, records));
+    std::vector<RetiredInstr> decoded;
+    ASSERT_TRUE(readTraceV2(pathA_, decoded));
+    expectSameRecords(decoded, records);
+}
+
+TEST_F(TraceV2Test, PcDeltasSpanningEveryVarintLengthRoundTrip)
+{
+    // Forward and backward pc jumps sized to exercise every zigzag
+    // varint length from 1 byte up to the 10-byte maximum (deltas up
+    // to 2^62 across the full 64-bit address space).
+    std::vector<RetiredInstr> records;
+    Addr pc = 0x8000000000000000ull;
+    records.push_back(makeRecord(pc));
+    for (int bits = 0; bits <= 62; bits += 7) {
+        const Addr delta = Addr{1} << bits;
+        pc += delta;
+        records.push_back(makeRecord(pc, InstrKind::Jump, pc - delta,
+                                     true));
+        pc -= 2 * delta;
+        records.push_back(makeRecord(pc));
+    }
+    ASSERT_TRUE(writeTraceV2(pathA_, records));
+    std::vector<RetiredInstr> decoded;
+    ASSERT_TRUE(readTraceV2(pathA_, decoded));
+    expectSameRecords(decoded, records);
+}
+
+TEST_F(TraceV2Test, EmptySingleAndNonChunkMultipleSizesRoundTrip)
+{
+    const std::size_t sizes[] = {0,
+                                 1,
+                                 2,
+                                 traceV2ChunkRecords - 1,
+                                 traceV2ChunkRecords,
+                                 traceV2ChunkRecords + 1,
+                                 2 * traceV2ChunkRecords + 777};
+    for (const std::size_t count : sizes) {
+        std::vector<RetiredInstr> records;
+        records.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            records.push_back(makeRecord(
+                0x40000000 + i * 4, static_cast<InstrKind>(i % 7),
+                (i % 3 == 0) ? 0x50000000 + i * 8 : invalidAddr,
+                i % 2 == 0, static_cast<TrapLevel>(i % 2)));
+        }
+        ASSERT_TRUE(writeTraceV2(pathA_, records)) << count;
+        std::vector<RetiredInstr> decoded;
+        ASSERT_TRUE(readTraceV2(pathA_, decoded)) << count;
+        expectSameRecords(decoded, records);
+
+        const auto info = traceV2Info(pathA_);
+        ASSERT_TRUE(info.has_value()) << count;
+        EXPECT_EQ(info->count, count);
+        EXPECT_EQ(info->chunks.size(),
+                  (count + traceV2ChunkRecords - 1) /
+                      traceV2ChunkRecords);
+    }
+}
+
+TEST_F(TraceV2Test, ChunkIndexSupportsLazyRandomAccess)
+{
+    std::vector<RetiredInstr> records;
+    const std::size_t count = 2 * traceV2ChunkRecords + 100;
+    records.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        records.push_back(makeRecord(0x1000 + i * 4,
+                                     static_cast<InstrKind>(i % 7),
+                                     (i % 5 == 0) ? 0x9000 + i
+                                                  : invalidAddr,
+                                     i % 2 == 1));
+    ASSERT_TRUE(writeTraceV2(pathA_, records));
+
+    TraceV2Reader reader;
+    ASSERT_TRUE(reader.open(pathA_)) << reader.error();
+    ASSERT_EQ(reader.info().chunks.size(), 3u);
+
+    // Decode the last chunk directly — no pass over chunks 0/1 — and
+    // verify records and the derived block/plainCont columns.
+    RecordBatch batch;
+    ASSERT_TRUE(reader.readChunk(2, batch)) << reader.error();
+    const TraceV2ChunkInfo &info = reader.info().chunks[2];
+    ASSERT_EQ(batch.size, info.records);
+    RecordBatch expect;
+    expect.reserve(info.records);
+    for (std::uint32_t i = 0; i < info.records; ++i)
+        expect.push(records[info.firstRecord + i]);
+    for (std::uint32_t i = 0; i < info.records; ++i) {
+        ASSERT_EQ(batch.pc[i], expect.pc[i]);
+        ASSERT_EQ(batch.target[i], expect.target[i]);
+        ASSERT_EQ(batch.kind[i], expect.kind[i]);
+        ASSERT_EQ(batch.block[i], expect.block[i]);
+        ASSERT_EQ(batch.plainCont[i], expect.plainCont[i]);
+    }
+    EXPECT_FALSE(reader.readChunk(3, batch));
+}
+
+TEST_F(TraceV2Test, V1ToV2ToV1IsByteIdentical)
+{
+    std::vector<RetiredInstr> records;
+    const std::size_t count = traceV2ChunkRecords + 4321;
+    records.reserve(count);
+    Rng rng(0x51f7);
+    Addr pc = 0x7f0000000000ull;
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto kind = static_cast<InstrKind>(rng.below(7));
+        const bool control = kind != InstrKind::Plain;
+        records.push_back(makeRecord(
+            pc, kind, control ? pc + rng.below(1 << 20) : invalidAddr,
+            control && rng.below(2) == 0,
+            static_cast<TrapLevel>(rng.below(3))));
+        pc += rng.below(2) ? 4 : rng.below(1 << 16);
+    }
+    ASSERT_TRUE(writeTrace(pathA_, records));
+
+    // pack: stream v1 batches into the v2 writer.
+    {
+        TraceBatchReader reader;
+        ASSERT_TRUE(reader.open(pathA_));
+        TraceV2Writer writer;
+        ASSERT_TRUE(writer.open(pathB_));
+        RecordBatch batch;
+        while (reader.next(batch, traceV2ChunkRecords))
+            ASSERT_TRUE(writer.addBatch(batch));
+        ASSERT_FALSE(reader.failed());
+        ASSERT_TRUE(writer.finish()) << writer.error();
+        ASSERT_EQ(writer.count(), count);
+    }
+    // unpack: stream v2 chunks back through the streaming v1 writer.
+    {
+        TraceV2Reader reader;
+        ASSERT_TRUE(reader.open(pathB_)) << reader.error();
+        TraceWriter writer;
+        ASSERT_TRUE(writer.open(pathC_));
+        RecordBatch batch;
+        while (reader.next(batch))
+            ASSERT_TRUE(writer.addBatch(batch));
+        ASSERT_FALSE(reader.failed()) << reader.error();
+        ASSERT_TRUE(writer.finish()) << writer.error();
+    }
+    EXPECT_EQ(slurp(pathA_), slurp(pathC_));
+
+    EXPECT_EQ(probeTraceFile(pathA_), TraceFileFormat::V1);
+    EXPECT_EQ(probeTraceFile(pathB_), TraceFileFormat::V2);
+    EXPECT_EQ(probeTraceFile(pathC_), TraceFileFormat::V1);
+}
+
+TEST_F(TraceV2Test, SeededFuzzPackUnpackIdentityAndDigestStability)
+{
+    // 200 random workloads: random-walk pcs over the whole address
+    // space, every kind, random targets/traps. Each must round-trip
+    // exactly, and packing the same records twice must produce
+    // byte-identical files with identical per-chunk digests (the
+    // encoder is canonical — no hidden nondeterminism).
+    Rng rng(0xf0220);
+    for (int iter = 0; iter < 200; ++iter) {
+        const std::size_t count = rng.below(3000);
+        std::vector<RetiredInstr> records;
+        records.reserve(count);
+        Addr pc = rng.next();
+        for (std::size_t i = 0; i < count; ++i) {
+            const auto kind = static_cast<InstrKind>(rng.below(7));
+            records.push_back(makeRecord(
+                pc, kind,
+                rng.below(4) == 0 ? invalidAddr : rng.next(),
+                rng.below(2) == 0,
+                static_cast<TrapLevel>(rng.below(4))));
+            switch (rng.below(4)) {
+              case 0: pc += 4; break;
+              case 1: pc += rng.below(1 << 14); break;
+              case 2: pc -= rng.below(1 << 22); break;
+              default: pc = rng.next(); break;
+            }
+        }
+        ASSERT_TRUE(writeTraceV2(pathA_, records)) << "iter " << iter;
+        ASSERT_TRUE(writeTraceV2(pathB_, records)) << "iter " << iter;
+        const std::string bytes = slurp(pathA_);
+        ASSERT_EQ(bytes, slurp(pathB_)) << "iter " << iter;
+
+        std::vector<RetiredInstr> decoded;
+        ASSERT_TRUE(readTraceV2(pathA_, decoded)) << "iter " << iter;
+        expectSameRecords(decoded, records);
+        ASSERT_EQ(streamRetireDigest(decoded),
+                  streamRetireDigest(records));
+
+        const auto infoA = traceV2Info(pathA_);
+        const auto infoB = traceV2Info(pathB_);
+        ASSERT_TRUE(infoA && infoB);
+        ASSERT_EQ(infoA->chunks.size(), infoB->chunks.size());
+        for (std::size_t k = 0; k < infoA->chunks.size(); ++k)
+            ASSERT_EQ(infoA->chunks[k].digest, infoB->chunks[k].digest);
+    }
+}
+
+// ------------------------------------------- planted-corruption battery
+
+/** A two-chunk v2 file the battery can plant faults into. */
+class TraceV2CorruptionTest : public TraceV2Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        TraceV2Test::SetUp();
+        records_.reserve(traceV2ChunkRecords + 500);
+        for (std::size_t i = 0; i < traceV2ChunkRecords + 500; ++i) {
+            records_.push_back(makeRecord(
+                0x1000 + i * 4, static_cast<InstrKind>(i % 7),
+                (i % 4 == 0) ? 0x2000 + i * 8 : invalidAddr,
+                i % 2 == 0, static_cast<TrapLevel>(i % 2)));
+        }
+        ASSERT_TRUE(writeTraceV2(pathA_, records_));
+        pristine_ = slurp(pathA_);
+        const auto info = traceV2Info(pathA_);
+        ASSERT_TRUE(info.has_value());
+        info_ = *info;
+    }
+
+    /** Open @p bytes (written to pathB_) expecting a failure whose
+     *  message contains @p needle; returns the full error. */
+    std::string
+    expectOpenError(const std::string &bytes, const std::string &needle)
+    {
+        spit(pathB_, bytes);
+        std::vector<RetiredInstr> decoded{makeRecord(1)};
+        std::string err;
+        EXPECT_FALSE(readTraceV2(pathB_, decoded, &err));
+        // No silent partial read: a failed decode hands back nothing.
+        EXPECT_TRUE(decoded.empty());
+        EXPECT_NE(err.find(needle), std::string::npos)
+            << "error was: " << err;
+        return err;
+    }
+
+    std::vector<RetiredInstr> records_;
+    std::string pristine_;
+    TraceV2Info info_;
+};
+
+TEST_F(TraceV2CorruptionTest, PlantedFaultsEachFailDistinctly)
+{
+    // Fault 1: truncated chunk/file — the trailing index no longer
+    // fits inside the file.
+    std::string truncated = pristine_;
+    truncated.resize(info_.indexOffset / 2);
+    const std::string err_trunc =
+        expectOpenError(truncated, "corrupt index offset");
+
+    // Fault 2: a flipped bit inside a compressed chunk payload. The
+    // index (at the end) is intact, so the file opens; the chunk
+    // itself must then fail decode — as a malformed section or as a
+    // payload digest mismatch, never as silently different records.
+    std::string flipped = pristine_;
+    const std::size_t payload_mid =
+        48 + (info_.chunks[0].payloadBytes / 2);
+    flipped[payload_mid] =
+        static_cast<char>(flipped[payload_mid] ^ 0x10);
+    spit(pathB_, flipped);
+    {
+        TraceV2Reader reader;
+        ASSERT_TRUE(reader.open(pathB_)) << reader.error();
+        RecordBatch batch;
+        EXPECT_FALSE(reader.next(batch));
+        EXPECT_TRUE(reader.failed());
+        EXPECT_EQ(batch.size, 0u);
+        EXPECT_NE(reader.error().find("chunk 0"), std::string::npos)
+            << "error was: " << reader.error();
+        EXPECT_NE(reader.error(), err_trunc);
+    }
+
+    // Fault 3: bad chunk-index offset in the header.
+    std::string bad_index = pristine_;
+    const std::uint64_t bogus = pristine_.size() * 2;
+    std::memcpy(&bad_index[16], &bogus, sizeof(bogus));
+    const std::string err_index =
+        expectOpenError(bad_index, "corrupt index offset");
+    EXPECT_NE(err_index.find("outside"), std::string::npos);
+
+    // Fault 4: stale v1 magic — a v1 file handed to the v2 reader
+    // must say exactly what to do instead of failing generically.
+    ASSERT_TRUE(writeTrace(pathC_, records_));
+    const std::string err_v1 =
+        expectOpenError(slurp(pathC_), "trace v1");
+    EXPECT_NE(err_v1.find("pifetch trace pack"), std::string::npos);
+
+    // And a foreign file is "not a pifetch trace", distinct again.
+    const std::string err_magic = expectOpenError(
+        std::string(64, 'x'), "not a pifetch trace");
+    EXPECT_NE(err_magic, err_v1);
+}
+
+TEST_F(TraceV2CorruptionTest, IndexAndHeaderTamperingIsDetected)
+{
+    // Flipped bit inside the trailing index block.
+    std::string bad = pristine_;
+    bad[info_.indexOffset + 5] =
+        static_cast<char>(bad[info_.indexOffset + 5] ^ 0x01);
+    expectOpenError(bad, "index");
+
+    // Header count disagreeing with the index totals.
+    bad = pristine_;
+    const std::uint64_t bogus = records_.size() + 7;
+    std::memcpy(&bad[8], &bogus, sizeof(bogus));
+    expectOpenError(bad, "promises");
+
+    // Future version.
+    bad = pristine_;
+    const std::uint32_t future = 9;
+    std::memcpy(&bad[4], &future, sizeof(future));
+    expectOpenError(bad, "unsupported trace version");
+
+    // Truncated header.
+    expectOpenError(pristine_.substr(0, 10), "truncated header");
+}
+
+TEST_F(TraceV2CorruptionTest, FuzzedCorruptionNeverCrashesOrLeaks)
+{
+    // Seeded corruption fuzz mirroring the v1 suite: truncation
+    // anywhere, 1..8 random bit flips, or a short stub. The v2
+    // contract is stronger than v1's — every payload byte is covered
+    // by a chunk digest and the index by its own digest, so any
+    // mutation that actually changes bytes must be *rejected*; decode
+    // may succeed only when the mutations cancelled out.
+    Rng rng(0x7ace2);
+    for (int iter = 0; iter < 300; ++iter) {
+        std::string mutated = pristine_;
+        switch (rng.below(3)) {
+          case 0:
+            mutated.resize(rng.below(mutated.size() + 1));
+            break;
+          case 1: {
+            const std::uint64_t flips = rng.range(1, 8);
+            for (std::uint64_t f = 0; f < flips; ++f) {
+                const std::size_t byte = rng.below(mutated.size());
+                mutated[byte] = static_cast<char>(
+                    mutated[byte] ^ (1u << rng.below(8)));
+            }
+            break;
+          }
+          default:
+            mutated.resize(rng.below(33));
+            break;
+        }
+        spit(pathB_, mutated);
+        std::vector<RetiredInstr> decoded{makeRecord(1)};
+        const bool ok = readTraceV2(pathB_, decoded);
+        if (ok) {
+            EXPECT_EQ(mutated, pristine_) << "iteration " << iter
+                << ": corrupted file decoded successfully";
+        } else {
+            EXPECT_TRUE(decoded.empty()) << "iteration " << iter
+                << ": failed read leaked partial state";
+        }
+    }
+}
+
+// -------------------------------------------- six-preset acceptance
+
+TEST_F(TraceV2Test, SixPresetCorpusCompressesFivefoldAndDecodesExactly)
+{
+    // The ISSUE's acceptance bar: over the whole six-preset server
+    // corpus, v2 must be >= 5x smaller than v1 and decode to the
+    // bit-identical record stream (checked via field equality and the
+    // cross-engine retire-digest fold, the same word encoding the
+    // engine oracles compare at any thread count).
+    std::uint64_t v1_bytes = 0;
+    std::uint64_t v2_bytes = 0;
+    for (const ServerWorkload w : allServerWorkloads()) {
+        const Program prog = buildWorkloadProgram(w);
+        Executor exec(prog, executorConfigFor(w));
+        std::vector<RetiredInstr> records;
+        records.reserve(50'000);
+        exec.run(50'000,
+                 [&](const RetiredInstr &r) { records.push_back(r); });
+
+        ASSERT_TRUE(writeTrace(pathA_, records));
+        ASSERT_TRUE(writeTraceV2(pathB_, records));
+        v1_bytes += slurp(pathA_).size();
+        v2_bytes += slurp(pathB_).size();
+
+        std::vector<RetiredInstr> decoded;
+        ASSERT_TRUE(readTraceV2(pathB_, decoded)) << workloadKey(w);
+        expectSameRecords(decoded, records);
+        ASSERT_EQ(streamRetireDigest(decoded),
+                  streamRetireDigest(records)) << workloadKey(w);
+    }
+    EXPECT_GE(v1_bytes, 5 * v2_bytes)
+        << "six-preset corpus: v1 " << v1_bytes << " B vs v2 "
+        << v2_bytes << " B ("
+        << static_cast<double>(v1_bytes) /
+               static_cast<double>(v2_bytes)
+        << "x)";
+}
+
+} // namespace
+} // namespace pifetch
